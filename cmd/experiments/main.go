@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale quick|laptop|paper] [-seed N] EXPERIMENT...
+//
+// where EXPERIMENT is one of: table1, table2, fig7, fig8, fig9, fig10,
+// fig11, fig12, fig13, fig14, fig15, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"focus/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "laptop", "workload scale: quick, laptop, or paper")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|table2|fig7..fig15|all ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	sc, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(id, sc, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(id string, sc experiments.Scale, seed int64) error {
+	switch id {
+	case "table1":
+		res, err := experiments.Table1(sc, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+	case "table2":
+		res, err := experiments.Table2(sc, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+	case "fig7", "fig8", "fig9":
+		idx := int(id[3] - '7')
+		res, err := experiments.LitsSDCurves(sc, idx, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+	case "fig10", "fig11", "fig12":
+		idx := int(id[4] - '0')
+		res, err := experiments.DTSDCurves(sc, idx, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+	case "fig13":
+		res, err := experiments.Fig13(sc, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+	case "fig14":
+		res, err := experiments.Fig14(sc, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+	case "fig15":
+		res, err := experiments.Fig15(sc, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

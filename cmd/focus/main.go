@@ -1,0 +1,142 @@
+// Command focus computes the FOCUS deviation between two datasets and,
+// optionally, its bootstrap significance.
+//
+// Market-basket mode (lits-models):
+//
+//	focus -model lits -minsup 0.01 -f fa -g sum store1.txns store2.txns
+//
+// Classification mode (dt-models), over CSV files produced by genclass:
+//
+//	focus -model dt -f fa -g sum -qualify people1.csv people2.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"focus/internal/classgen"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/stats"
+	"focus/internal/txn"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "lits", "model class: lits or dt")
+		minsup     = flag.Float64("minsup", 0.01, "minimum support for lits-models")
+		fName      = flag.String("f", "fa", "difference function: fa (absolute) or fs (scaled)")
+		gName      = flag.String("g", "sum", "aggregate function: sum or max")
+		qualify    = flag.Bool("qualify", false, "bootstrap the significance of the deviation")
+		replicates = flag.Int("replicates", stats.DefaultBootstrapReplicates, "bootstrap replicates")
+		seed       = flag.Int64("seed", 1, "bootstrap seed")
+		maxDepth   = flag.Int("maxdepth", 10, "decision tree depth limit")
+		minLeaf    = flag.Int("minleaf", 25, "decision tree minimum leaf size")
+		showBound  = flag.Bool("bound", false, "also print the delta* upper bound (lits only)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: focus [flags] DATASET1 DATASET2")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := core.DiffByName(*fName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := core.AggByName(*gName)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *model {
+	case "lits":
+		d1 := readTxns(flag.Arg(0))
+		d2 := readTxns(flag.Arg(1))
+		m1, err := core.MineLits(d1, *minsup)
+		if err != nil {
+			fatal(err)
+		}
+		m2, err := core.MineLits(d2, *minsup)
+		if err != nil {
+			fatal(err)
+		}
+		dev, err := core.LitsDeviation(m1, m2, d1, d2, f, g, core.LitsOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lits-models: |L1|=%d |L2|=%d minsup=%g\n", m1.Len(), m2.Len(), *minsup)
+		fmt.Printf("deviation delta(%s,%s) = %.6f\n", *fName, *gName, dev)
+		if *showBound {
+			fmt.Printf("upper bound delta*(%s) = %.6f (no dataset scan)\n", *gName, core.LitsUpperBound(m1, m2, g))
+		}
+		if *qualify {
+			q, err := core.QualifyLits(d1, d2, *minsup, f, g, core.QualifyOptions{Replicates: *replicates, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("significance sig(delta) = %.1f%% (bootstrap, %d replicates)\n", q.Significance, len(q.Null))
+		}
+	case "dt":
+		schema := classgen.Schema()
+		d1 := readCSV(flag.Arg(0), schema)
+		d2 := readCSV(flag.Arg(1), schema)
+		cfg := dtree.Config{MaxDepth: *maxDepth, MinLeaf: *minLeaf}
+		m1, err := core.BuildDTModel(d1, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		m2, err := core.BuildDTModel(d2, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		dev, err := core.DTDeviation(m1, m2, d1, d2, f, g, core.DTOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dt-models: %d and %d leaves\n", m1.Tree.NumLeaves(), m2.Tree.NumLeaves())
+		fmt.Printf("deviation delta(%s,%s) = %.6f\n", *fName, *gName, dev)
+		if *qualify {
+			q, err := core.QualifyDT(d1, d2, cfg, f, g, core.QualifyOptions{Replicates: *replicates, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("significance sig(delta) = %.1f%% (bootstrap, %d replicates)\n", q.Significance, len(q.Null))
+		}
+	default:
+		fatal(fmt.Errorf("unknown model class %q (want lits or dt)", *model))
+	}
+}
+
+func readTxns(path string) *txn.Dataset {
+	fh, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer fh.Close()
+	d, err := txn.Read(fh)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return d
+}
+
+func readCSV(path string, schema *dataset.Schema) *dataset.Dataset {
+	fh, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer fh.Close()
+	d, err := dataset.ReadCSV(fh, schema)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return d
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "focus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Quickstart: measure how much two dataset snapshots differ through the
+// models they induce, and test whether the difference is statistically
+// meaningful.
+//
+// The scenario is the paper's motivating example (Section 1): an analyst
+// monitors weekly snapshots and only wants to re-analyze when the current
+// snapshot genuinely differs from the previous one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"focus"
+	"focus/internal/quest"
+)
+
+func main() {
+	// Week 1: customer transactions from the usual purchasing process.
+	cfg := quest.DefaultConfig(8000)
+	cfg.NumItems = 400
+	cfg.NumPatterns = 300
+	cfg.AvgTxnLen = 10
+	cfg.Seed = 1
+	process, err := quest.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	week1 := process.GenerateN(8000)
+
+	// Week 2: the same purchasing process (same co-purchase patterns),
+	// fresh transactions — a typical successive snapshot.
+	week2 := process.GenerateN(8000)
+
+	// Week 3: customer behaviour changed — longer co-purchase patterns.
+	changed := cfg
+	changed.AvgPatternLen = 8
+	changed.Seed = 3
+	week3, err := quest.Generate(changed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const minSupport = 0.02
+	m1, err := focus.MineLits(week1, minSupport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("week 1 model: %d frequent itemsets at %.0f%% support\n", m1.Len(), minSupport*100)
+
+	for _, wk := range []struct {
+		name string
+		data *focus.TxnDataset
+	}{
+		{"week 2 (same process)", week2},
+		{"week 3 (changed process)", week3},
+	} {
+		m, err := focus.MineLits(wk.data, minSupport)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The deviation extends both models to their greatest common
+		// refinement and sums the per-itemset support differences
+		// (Definition 3.6 with f_a and g_sum).
+		dev, err := focus.LitsDeviation(m1, m, week1, wk.data, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// delta* needs only the two models — instant, and never
+		// underestimates (Theorem 4.2).
+		bound := focus.LitsUpperBound(m1, m, focus.Sum)
+
+		// Is the deviation larger than same-process noise? Bootstrap the
+		// null distribution (Section 3.4).
+		q, err := focus.QualifyLits(week1, wk.data, minSupport, focus.AbsoluteDiff, focus.Sum,
+			focus.QualifyOptions{Replicates: 29, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s delta=%.4f  delta*=%.4f  significance=%.0f%%\n",
+			wk.name, dev, bound, q.Significance)
+	}
+	fmt.Println("\nA high significance (99%+) tells the analyst the snapshot deserves a fresh analysis;")
+	fmt.Println("a low one means the difference is within same-process sampling noise.")
+}

@@ -1,0 +1,68 @@
+// Sampling: the sample-size study of Section 6 in miniature. Is a model
+// built from a sample good enough, and how fast does its quality improve
+// with the sample size? The sample deviation SD = delta(M, M_S) quantifies
+// how representative a sample S is of the full dataset D; the Wilcoxon test
+// tells whether growing the sample still helps significantly.
+//
+//	go run ./examples/sampling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"focus"
+	"focus/internal/quest"
+	"focus/internal/stats"
+)
+
+func main() {
+	cfg := quest.DefaultConfig(10000)
+	cfg.NumItems = 300
+	cfg.NumPatterns = 300
+	cfg.AvgTxnLen = 10
+	cfg.Seed = 5
+	d, err := quest.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const minSupport = 0.02
+	m, err := focus.MineLits(d, minSupport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full dataset: %d transactions, model with %d frequent itemsets\n\n", d.Len(), m.Len())
+
+	fractions := []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8}
+	const samplesPerSize = 8
+	rng := rand.New(rand.NewSource(99))
+
+	sds := make([][]float64, len(fractions))
+	fmt.Printf("%-8s %-12s %-12s\n", "SF", "mean SD", "min..max")
+	for i, sf := range fractions {
+		sds[i] = make([]float64, samplesPerSize)
+		for j := range sds[i] {
+			sample := d.SampleFraction(sf, rng)
+			ms, err := focus.MineLits(sample, minSupport)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sd, err := focus.LitsDeviation(m, ms, d, sample, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sds[i][j] = sd
+		}
+		lo, hi := stats.MinMax(sds[i])
+		fmt.Printf("%-8.2f %-12.4f %.4f..%.4f\n", sf, stats.Mean(sds[i]), lo, hi)
+	}
+
+	fmt.Println("\nWilcoxon significance that the larger sample is more representative:")
+	for i := 0; i+1 < len(fractions); i++ {
+		res := stats.WilcoxonRankSum(sds[i+1], sds[i], stats.Less)
+		fmt.Printf("  SF %.2f -> %.2f: %.2f%%\n", fractions[i], fractions[i+1], res.Significance)
+	}
+	fmt.Println("\nAs in the paper: bigger samples are better with statistical significance, but the")
+	fmt.Println("marginal gain collapses past SF ~0.2-0.3 — a 20-30% sample often suffices (Section 6.1.3).")
+}

@@ -1,0 +1,262 @@
+// Package focus is the public API of this reproduction of "A Framework for
+// Measuring Changes in Data Characteristics" (Ganti, Gehrke, Ramakrishnan,
+// Loh — PODS 1999).
+//
+// FOCUS quantifies the deviation between two datasets through the data
+// mining models they induce. A model has a structural component (a set of
+// regions of the attribute space) and a measure component (the fraction of
+// the dataset in each region). Two models of one class are compared by
+// extending both to the greatest common refinement (GCR) of their structural
+// components and aggregating a per-region difference:
+//
+//	delta(f,g)(M1, M2) = g({ f(alpha1, alpha2, |D1|, |D2|) : regions of the GCR })
+//
+// with f a difference function (AbsoluteDiff = f_a, ScaledDiff = f_s) and g
+// an aggregate (Sum, Max).
+//
+// Three model classes are provided, mirroring the paper:
+//
+//   - lits-models: frequent itemsets mined by Apriori (MineLits,
+//     LitsDeviation, LitsUpperBound);
+//   - dt-models: decision-tree partitions built by a CART-style grower
+//     (BuildDTModel, DTDeviation);
+//   - cluster-models: grid-based cluster regions (BuildClusterModel,
+//     ClusterDeviation).
+//
+// Deviations can be focussed on a region (DTOptions.Focus, LitsOptions.Focus),
+// decomposed and ranked with the structural operators (StructuralUnion,
+// Rank, Top, ...), and qualified for statistical significance by
+// bootstrapping (QualifyLits, QualifyDT). The misclassification error and
+// the chi-squared goodness-of-fit statistic arise as special cases
+// (MisclassificationViaFOCUS, ChiSquared, ChiSquaredBootstrapTest).
+//
+// Synthetic data generators matching the paper's workloads live in
+// internal/quest (market-basket) and internal/classgen (classification) and
+// are exposed through the cmd/genquest and cmd/genclass tools; the full
+// experiment harness regenerating every table and figure of the paper lives
+// in cmd/experiments and the repo-root benchmarks.
+package focus
+
+import (
+	"focus/internal/apriori"
+	"focus/internal/cluster"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/region"
+	"focus/internal/txn"
+)
+
+// Difference and aggregate functions (Definition 3.7).
+type (
+	// DiffFunc is the difference function f(alpha1, alpha2, |D1|, |D2|).
+	DiffFunc = core.DiffFunc
+	// AggFunc is the aggregate function g.
+	AggFunc = core.AggFunc
+)
+
+var (
+	// AbsoluteDiff is f_a: |sigma1 - sigma2|.
+	AbsoluteDiff DiffFunc = core.AbsoluteDiff
+	// ScaledDiff is f_s: |sigma1 - sigma2| / ((sigma1 + sigma2)/2).
+	ScaledDiff DiffFunc = core.ScaledDiff
+	// Sum is g_sum.
+	Sum AggFunc = core.Sum
+	// Max is g_max.
+	Max AggFunc = core.Max
+)
+
+// ChiSquaredDiff returns the difference function of Proposition 5.1 with
+// zero-expectation constant c.
+func ChiSquaredDiff(c float64) DiffFunc { return core.ChiSquaredDiff(c) }
+
+// Dataset substrate.
+type (
+	// Schema fixes the attribute space A(I).
+	Schema = dataset.Schema
+	// Attribute is one dimension of the attribute space.
+	Attribute = dataset.Attribute
+	// Tuple is an n-tuple on I.
+	Tuple = dataset.Tuple
+	// Dataset is a finite set of tuples.
+	Dataset = dataset.Dataset
+	// Box is an axis-aligned region of the attribute space.
+	Box = region.Box
+
+	// TxnDataset is a market-basket dataset for lits-models.
+	TxnDataset = txn.Dataset
+	// Transaction is a sorted set of items.
+	Transaction = txn.Transaction
+	// Item identifies one item.
+	Item = txn.Item
+	// Itemset is a sorted set of items identifying a lits-model region.
+	Itemset = apriori.Itemset
+)
+
+// FullRegion returns the box covering the whole attribute space of s.
+func FullRegion(s *Schema) *Box { return region.Full(s) }
+
+// Models.
+type (
+	// LitsModel is a frequent-itemset model (Section 2.2).
+	LitsModel = core.LitsModel
+	// DTModel is a decision-tree model (Section 2.1).
+	DTModel = core.DTModel
+	// ClusterModel is a cluster model (Section 2.4).
+	ClusterModel = core.ClusterModel
+	// Tree is the underlying decision-tree classifier.
+	Tree = dtree.Tree
+	// TreeConfig controls decision-tree growth.
+	TreeConfig = dtree.Config
+	// Grid discretizes numeric attributes for cluster-models.
+	Grid = cluster.Grid
+
+	// LitsOptions tunes lits-model deviations (focussing).
+	LitsOptions = core.LitsOptions
+	// DTOptions tunes dt-model deviations (focussing).
+	DTOptions = core.DTOptions
+	// GCRRegion is one region of a dt-model GCR overlay.
+	GCRRegion = core.GCRRegion
+)
+
+// MineLits induces the lits-model of d at the given minimum support.
+func MineLits(d *TxnDataset, minSupport float64) (*LitsModel, error) {
+	return core.MineLits(d, minSupport)
+}
+
+// BuildDTModel induces a dt-model from a classification dataset.
+func BuildDTModel(d *Dataset, cfg TreeConfig) (*DTModel, error) {
+	return core.BuildDTModel(d, cfg)
+}
+
+// NewGrid builds a clustering grid over numeric attributes of s.
+func NewGrid(s *Schema, attrs []int, bins int) (*Grid, error) {
+	return cluster.NewGrid(s, attrs, bins)
+}
+
+// BuildClusterModel induces a grid-based cluster-model from d.
+func BuildClusterModel(d *Dataset, g *Grid, minDensity float64) (*ClusterModel, error) {
+	return core.BuildClusterModel(d, g, minDensity)
+}
+
+// LitsDeviation computes delta(f,g) between d1 and d2 through their
+// lits-models (Definition 3.6).
+func LitsDeviation(m1, m2 *LitsModel, d1, d2 *TxnDataset, f DiffFunc, g AggFunc, opts LitsOptions) (float64, error) {
+	return core.LitsDeviation(m1, m2, d1, d2, f, g, opts)
+}
+
+// LitsUpperBound computes the model-only upper bound delta*(g) of
+// Theorem 4.2 — no dataset scan required.
+func LitsUpperBound(m1, m2 *LitsModel, g AggFunc) float64 {
+	return core.LitsUpperBound(m1, m2, g)
+}
+
+// DTDeviation computes delta(f,g) between d1 and d2 through their dt-models
+// over the GCR overlay (Definition 3.6, Section 4.2).
+func DTDeviation(m1, m2 *DTModel, d1, d2 *Dataset, f DiffFunc, g AggFunc, opts DTOptions) (float64, error) {
+	return core.DTDeviation(m1, m2, d1, d2, f, g, opts)
+}
+
+// DTGCRRegions returns the GCR overlay of two dt-models.
+func DTGCRRegions(m1, m2 *DTModel) ([]GCRRegion, error) {
+	return core.DTGCRRegions(m1, m2)
+}
+
+// ClusterDeviation computes delta(f,g) between d1 and d2 through their
+// cluster-models over one grid.
+func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *Dataset, f DiffFunc, g AggFunc) (float64, error) {
+	return core.ClusterDeviation(m1, m2, d1, d2, f, g)
+}
+
+// Qualification and monitoring (Sections 3.4 and 5.2).
+type (
+	// Qualification reports a deviation with its bootstrap significance.
+	Qualification = core.Qualification
+	// QualifyOptions tunes the bootstrap.
+	QualifyOptions = core.QualifyOptions
+	// ChiSquaredTestResult reports the bootstrap goodness-of-fit test.
+	ChiSquaredTestResult = core.ChiSquaredTestResult
+)
+
+// QualifyLits computes the lits deviation between d1 and d2 and its
+// bootstrap significance (Section 3.4).
+func QualifyLits(d1, d2 *TxnDataset, minSupport float64, f DiffFunc, g AggFunc, opts QualifyOptions) (Qualification, error) {
+	return core.QualifyLits(d1, d2, minSupport, f, g, opts)
+}
+
+// QualifyDT computes the dt deviation between d1 and d2 and its bootstrap
+// significance (Section 3.4).
+func QualifyDT(d1, d2 *Dataset, cfg TreeConfig, f DiffFunc, g AggFunc, opts QualifyOptions) (Qualification, error) {
+	return core.QualifyDT(d1, d2, cfg, f, g, opts)
+}
+
+// MisclassificationViaFOCUS computes ME_T(D2) as half the FOCUS deviation
+// between D2 and the predicted dataset D2^T (Theorem 5.2).
+func MisclassificationViaFOCUS(t *Tree, d2 *Dataset) (float64, error) {
+	return core.MisclassificationViaFOCUS(t, d2)
+}
+
+// ChiSquared computes the chi-squared statistic of Proposition 5.1 over the
+// tree's cells.
+func ChiSquared(t *Tree, d1, d2 *Dataset, c float64) (float64, error) {
+	return core.ChiSquared(t, d1, d2, c)
+}
+
+// ChiSquaredBootstrapTest runs the goodness-of-fit test with a
+// bootstrap-estimated exact null distribution (Section 5.2.2). cfg is the
+// tree-growing configuration used on each null resample, mirroring how t was
+// built.
+func ChiSquaredBootstrapTest(t *Tree, cfg TreeConfig, d1, d2 *Dataset, c float64, replicates int, seed int64) (ChiSquaredTestResult, error) {
+	return core.ChiSquaredBootstrapTest(t, cfg, d1, d2, c, replicates, seed)
+}
+
+// Structural and rank operators (Section 5).
+type (
+	// RankedRegion is a region with its deviation.
+	RankedRegion = core.RankedRegion
+	// RankedItemset is an itemset with its deviation and supports.
+	RankedItemset = core.RankedItemset
+)
+
+// StructuralUnion is the ⊔ operator (GCR) on box region sets.
+func StructuralUnion(p1, p2 []*Box) []*Box { return core.StructuralUnion(p1, p2) }
+
+// StructuralIntersection is the ⊓ operator on box region sets.
+func StructuralIntersection(p1, p2 []*Box) []*Box { return core.StructuralIntersection(p1, p2) }
+
+// StructuralDifference is the − operator on box region sets.
+func StructuralDifference(p1, p2 []*Box) []*Box { return core.StructuralDifference(p1, p2) }
+
+// Rank orders box regions by decreasing deviation between d1 and d2.
+func Rank(regions []*Box, d1, d2 *Dataset, f DiffFunc) []RankedRegion {
+	return core.Rank(regions, d1, d2, f)
+}
+
+// Top selects the first n ranked regions.
+func Top(ranked []RankedRegion, n int) []RankedRegion { return core.Top(ranked, n) }
+
+// ItemsetUnion is the ⊔ operator (GCR) on lits structural components.
+func ItemsetUnion(p1, p2 []Itemset) []Itemset { return core.ItemsetUnion(p1, p2) }
+
+// RankItemsets orders itemsets by decreasing deviation between d1 and d2.
+func RankItemsets(sets []Itemset, d1, d2 *TxnDataset, f DiffFunc) []RankedItemset {
+	return core.RankItemsets(sets, d1, d2, f)
+}
+
+// TopItemsets selects the first n ranked itemsets.
+func TopItemsets(ranked []RankedItemset, n int) []RankedItemset {
+	return core.TopItemsets(ranked, n)
+}
+
+// UpperBoundMatrix returns pairwise delta*(g) distances over a collection of
+// lits-models — no dataset scans (Section 4.1.1).
+func UpperBoundMatrix(models []*LitsModel, g AggFunc) [][]float64 {
+	return core.UpperBoundMatrix(models, g)
+}
+
+// Embed places a symmetric distance matrix (e.g. from UpperBoundMatrix) into
+// dims dimensions by classical multidimensional scaling, for visually
+// comparing a collection of datasets (Section 4.1.1).
+func Embed(distances [][]float64, dims int) ([][]float64, error) {
+	return core.Embed(distances, dims)
+}

@@ -1,0 +1,270 @@
+// Package apriori implements the Apriori frequent-itemset mining algorithm
+// of Agrawal & Srikant (VLDB 1994), which the paper uses to compute
+// lits-models (Section 6.1.1). Beyond mining, it supports counting the
+// supports of an arbitrary fixed collection of itemsets in a single dataset
+// scan — the operation FOCUS needs to extend a model to the greatest common
+// refinement of two lits-models (Section 4.1).
+package apriori
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"focus/internal/txn"
+)
+
+// Itemset is a sorted, duplicate-free set of items.
+type Itemset []txn.Item
+
+// Key returns a byte-exact map key for the itemset.
+func (s Itemset) Key() string {
+	b := make([]byte, 4*len(s))
+	for i, it := range s {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(it))
+	}
+	return string(b)
+}
+
+// ParseKey reconstructs an itemset from a key produced by Key.
+func ParseKey(k string) Itemset {
+	if len(k)%4 != 0 {
+		panic(fmt.Sprintf("apriori: malformed itemset key of length %d", len(k)))
+	}
+	s := make(Itemset, len(k)/4)
+	for i := range s {
+		s[i] = txn.Item(binary.BigEndian.Uint32([]byte(k[4*i : 4*i+4])))
+	}
+	return s
+}
+
+// Clone returns a copy of the itemset.
+func (s Itemset) Clone() Itemset {
+	c := make(Itemset, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two itemsets hold the same items.
+func (s Itemset) Equal(o Itemset) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less orders itemsets lexicographically (shorter prefixes first).
+func (s Itemset) Less(o Itemset) bool {
+	n := len(s)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != o[i] {
+			return s[i] < o[i]
+		}
+	}
+	return len(s) < len(o)
+}
+
+// String renders the itemset like "{3 17 42}".
+func (s Itemset) String() string {
+	out := "{"
+	for i, it := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprint(it)
+	}
+	return out + "}"
+}
+
+// NewItemset normalizes items into an Itemset (sorted, unique).
+func NewItemset(items ...txn.Item) Itemset {
+	s := append(Itemset(nil), items...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// FrequentSet is the raw material of a lits-model: the frequent itemsets of
+// a dataset at a minimum support level, with their supports.
+type FrequentSet struct {
+	// MinSupport is the mining threshold (a fraction of |D|).
+	MinSupport float64
+	// N is |D|, the number of transactions the supports are relative to.
+	N int
+	// Itemsets holds the frequent itemsets in lexicographic order.
+	Itemsets []Itemset
+	// Counts holds the absolute support count of each itemset.
+	Counts []int
+
+	index map[string]int
+}
+
+// Len returns the number of frequent itemsets.
+func (f *FrequentSet) Len() int { return len(f.Itemsets) }
+
+// Support returns the support (selectivity) of the i-th itemset.
+func (f *FrequentSet) Support(i int) float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return float64(f.Counts[i]) / float64(f.N)
+}
+
+// Lookup returns the index of itemset s, or -1 when s is not frequent.
+func (f *FrequentSet) Lookup(s Itemset) int {
+	if f.index == nil {
+		f.buildIndex()
+	}
+	if i, ok := f.index[s.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+func (f *FrequentSet) buildIndex() {
+	f.index = make(map[string]int, len(f.Itemsets))
+	for i, s := range f.Itemsets {
+		f.index[s.Key()] = i
+	}
+}
+
+func (f *FrequentSet) sortLex() {
+	order := make([]int, len(f.Itemsets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return f.Itemsets[order[a]].Less(f.Itemsets[order[b]]) })
+	its := make([]Itemset, len(order))
+	cnt := make([]int, len(order))
+	for i, j := range order {
+		its[i] = f.Itemsets[j]
+		cnt[i] = f.Counts[j]
+	}
+	f.Itemsets, f.Counts = its, cnt
+	f.index = nil
+}
+
+// Mine runs Apriori over d at the given minimum support (fraction in (0,1])
+// and returns all frequent itemsets with their counts.
+func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, fmt.Errorf("apriori: minimum support %v outside (0,1]", minSupport)
+	}
+	out := &FrequentSet{MinSupport: minSupport, N: d.Len()}
+	if d.Len() == 0 {
+		return out, nil
+	}
+	minCount := int(minSupport*float64(d.Len()) + 0.999999)
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Pass 1: frequent items via a dense counter.
+	itemCounts := make([]int, d.NumItems)
+	for _, t := range d.Txns {
+		for _, it := range t {
+			itemCounts[it]++
+		}
+	}
+	var level []Itemset
+	var levelCounts []int
+	for it, c := range itemCounts {
+		if c >= minCount {
+			level = append(level, Itemset{txn.Item(it)})
+			levelCounts = append(levelCounts, c)
+		}
+	}
+	out.Itemsets = append(out.Itemsets, level...)
+	out.Counts = append(out.Counts, levelCounts...)
+
+	// Passes k >= 2: generate candidates from L(k-1), count with a trie.
+	for len(level) >= 2 {
+		candidates := generateCandidates(level)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := CountItemsets(d, candidates)
+		var next []Itemset
+		var nextCounts []int
+		for i, c := range counts {
+			if c >= minCount {
+				next = append(next, candidates[i])
+				nextCounts = append(nextCounts, c)
+			}
+		}
+		out.Itemsets = append(out.Itemsets, next...)
+		out.Counts = append(out.Counts, nextCounts...)
+		level = next
+	}
+	out.sortLex()
+	return out, nil
+}
+
+// generateCandidates implements the Apriori candidate-generation step: join
+// (k-1)-itemsets sharing their first k-2 items, then prune candidates with an
+// infrequent (k-1)-subset (downward closure).
+func generateCandidates(level []Itemset) []Itemset {
+	sort.Slice(level, func(i, j int) bool { return level[i].Less(level[j]) })
+	prev := make(map[string]bool, len(level))
+	for _, s := range level {
+		prev[s.Key()] = true
+	}
+	k := len(level[0]) + 1
+	var out []Itemset
+	sub := make(Itemset, k-1)
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a, b, k-2) {
+				break // level is sorted; no later j shares the prefix
+			}
+			cand := make(Itemset, 0, k)
+			cand = append(cand, a...)
+			cand = append(cand, b[k-2])
+			if !pruneOK(cand, prev, sub) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneOK checks the downward-closure condition: every (k-1)-subset of cand
+// must be in prev. sub is scratch space of length k-1.
+func pruneOK(cand Itemset, prev map[string]bool, sub Itemset) bool {
+	for drop := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != drop {
+				sub = append(sub, it)
+			}
+		}
+		if !prev[Itemset(sub).Key()] {
+			return false
+		}
+	}
+	return true
+}

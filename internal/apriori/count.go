@@ -1,0 +1,104 @@
+package apriori
+
+import (
+	"focus/internal/txn"
+)
+
+// trieNode is one node of the itemset-counting prefix trie. Children are
+// keyed by item; terminal holds the indexes of the registered itemsets that
+// end at this node (several, if the caller registered duplicates).
+type trieNode struct {
+	children map[txn.Item]*trieNode
+	terminal []int
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{}
+}
+
+func (n *trieNode) insert(s Itemset, idx int) {
+	cur := n
+	for _, it := range s {
+		if cur.children == nil {
+			cur.children = make(map[txn.Item]*trieNode)
+		}
+		next, ok := cur.children[it]
+		if !ok {
+			next = newTrieNode()
+			cur.children[it] = next
+		}
+		cur = next
+	}
+	cur.terminal = append(cur.terminal, idx)
+}
+
+// countIn accumulates, into counts, every registered itemset that is a
+// subset of the sorted transaction suffix t.
+func (n *trieNode) countIn(t txn.Transaction, counts []int) {
+	for _, idx := range n.terminal {
+		counts[idx]++
+	}
+	if n.children == nil {
+		return
+	}
+	// Itemsets and transactions are sorted, so each child item can only
+	// match at positions carrying that exact item; iterate the (usually
+	// shorter) transaction suffix and descend on matches.
+	if len(n.children) < len(t) {
+		for it, child := range n.children {
+			// Binary search for it in t.
+			lo, hi := 0, len(t)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if t[mid] < it {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(t) && t[lo] == it {
+				child.countIn(t[lo+1:], counts)
+			}
+		}
+		return
+	}
+	for i, it := range t {
+		if child, ok := n.children[it]; ok {
+			child.countIn(t[i+1:], counts)
+		}
+	}
+}
+
+// CountItemsets returns, for each itemset in sets, the absolute number of
+// transactions of d containing it, computed in a single scan of d. The empty
+// itemset counts every transaction. This is the single-scan measure
+// computation FOCUS relies on when extending lits-models to their GCR
+// (Section 3.3.1).
+func CountItemsets(d *txn.Dataset, sets []Itemset) []int {
+	counts := make([]int, len(sets))
+	if len(sets) == 0 {
+		return counts
+	}
+	root := newTrieNode()
+	for i, s := range sets {
+		root.insert(s, i)
+	}
+	for _, t := range d.Txns {
+		root.countIn(t, counts)
+	}
+	return counts
+}
+
+// CountItemsetsBrute is the quadratic reference implementation of
+// CountItemsets, retained for property tests and the ablation benchmark.
+func CountItemsetsBrute(d *txn.Dataset, sets []Itemset) []int {
+	counts := make([]int, len(sets))
+	for _, t := range d.Txns {
+		for i, s := range sets {
+			if t.ContainsAll(s) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}

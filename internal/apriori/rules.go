@@ -1,0 +1,129 @@
+package apriori
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule is an association rule X => Y with the usual support/confidence
+// semantics of Agrawal & Srikant (VLDB 1994): Support is the support of
+// X ∪ Y, Confidence is support(X ∪ Y)/support(X), and Lift is
+// Confidence/support(Y).
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	Support    float64
+	Confidence float64
+	Lift       float64
+}
+
+// String renders the rule like "{1 2} => {3} (sup 0.10, conf 0.80)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f, conf %.3f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Rules generates every association rule X => Y with X ∪ Y frequent,
+// X, Y non-empty and disjoint, and confidence at least minConfidence,
+// following the ap-genrules recursion of the original paper: for a frequent
+// itemset Z, consequents grow from single items upward, and a consequent
+// can only be extended if its sub-consequents already met the confidence
+// threshold (confidence is antitone in the consequent).
+//
+// Rules are returned ordered by decreasing confidence, then decreasing
+// support, then antecedent order.
+func (f *FrequentSet) Rules(minConfidence float64) ([]Rule, error) {
+	if minConfidence < 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("apriori: minimum confidence %v outside [0,1]", minConfidence)
+	}
+	if f.index == nil {
+		f.buildIndex()
+	}
+	var out []Rule
+	scratch := make(Itemset, 0, 16)
+	for i, z := range f.Itemsets {
+		if len(z) < 2 {
+			continue
+		}
+		// Start with all 1-item consequents that pass the threshold.
+		var consequents []Itemset
+		for _, it := range z {
+			c := Itemset{it}
+			if r, ok := f.rule(z, c, i, scratch); ok && r.Confidence >= minConfidence {
+				out = append(out, r)
+				consequents = append(consequents, c)
+			}
+		}
+		// Grow consequents level by level (apriori on the consequent side).
+		for len(consequents) > 0 && len(consequents[0]) < len(z)-1 {
+			next := generateCandidates(consequents)
+			consequents = consequents[:0]
+			for _, c := range next {
+				if r, ok := f.rule(z, c, i, scratch); ok && r.Confidence >= minConfidence {
+					out = append(out, r)
+					consequents = append(consequents, c)
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Confidence != out[b].Confidence {
+			return out[a].Confidence > out[b].Confidence
+		}
+		if out[a].Support != out[b].Support {
+			return out[a].Support > out[b].Support
+		}
+		return out[a].Antecedent.Less(out[b].Antecedent)
+	})
+	return out, nil
+}
+
+// rule assembles the rule (z \ consequent) => consequent, returning ok=false
+// when the consequent is not a strict subset of z or the needed supports are
+// unavailable.
+func (f *FrequentSet) rule(z, consequent Itemset, zIdx int, scratch Itemset) (Rule, bool) {
+	if len(consequent) >= len(z) {
+		return Rule{}, false
+	}
+	antecedent := diffSorted(z, consequent, scratch[:0])
+	if len(antecedent)+len(consequent) != len(z) {
+		return Rule{}, false // consequent not fully inside z
+	}
+	ai := f.Lookup(append(Itemset(nil), antecedent...))
+	if ai < 0 {
+		// Downward closure guarantees antecedents of frequent itemsets are
+		// frequent; a miss means z came from elsewhere.
+		return Rule{}, false
+	}
+	supZ := f.Support(zIdx)
+	supA := f.Support(ai)
+	if supA == 0 {
+		return Rule{}, false
+	}
+	r := Rule{
+		Antecedent: append(Itemset(nil), antecedent...),
+		Consequent: append(Itemset(nil), consequent...),
+		Support:    supZ,
+		Confidence: supZ / supA,
+	}
+	if ci := f.Lookup(consequent); ci >= 0 {
+		if supC := f.Support(ci); supC > 0 {
+			r.Lift = r.Confidence / supC
+		}
+	}
+	return r, true
+}
+
+// diffSorted returns z \ c for sorted itemsets, appending to dst.
+func diffSorted(z, c Itemset, dst Itemset) Itemset {
+	j := 0
+	for _, it := range z {
+		for j < len(c) && c[j] < it {
+			j++
+		}
+		if j < len(c) && c[j] == it {
+			continue
+		}
+		dst = append(dst, it)
+	}
+	return dst
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"focus/internal/dataset"
+)
+
+func blobSchema() *dataset.Schema {
+	return dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Min: 0, Max: 100},
+		dataset.Attribute{Name: "y", Kind: dataset.Numeric, Min: 0, Max: 100},
+	)
+}
+
+// blobs places n points around each given center with the given spread.
+func blobs(centers [][2]float64, n int, spread float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(blobSchema())
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			x := clamp(c[0]+rng.NormFloat64()*spread, 0, 100)
+			y := clamp(c[1]+rng.NormFloat64()*spread, 0, 100)
+			d.Add(dataset.Tuple{x, y})
+		}
+	}
+	return d
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	d := blobs([][2]float64{{20, 20}, {80, 80}}, 200, 3, 1)
+	rng := rand.New(rand.NewSource(2))
+	res, err := KMeans(d, []int{0, 1}, 2, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("got %d centroids", len(res.Centroids))
+	}
+	// The two centroids should be near the true centers (in some order).
+	near := func(c []float64, x, y float64) bool {
+		return math.Hypot(c[0]-x, c[1]-y) < 5
+	}
+	ok := (near(res.Centroids[0], 20, 20) && near(res.Centroids[1], 80, 80)) ||
+		(near(res.Centroids[0], 80, 80) && near(res.Centroids[1], 20, 20))
+	if !ok {
+		t.Errorf("centroids %v not near blob centers", res.Centroids)
+	}
+	// Assignments must be consistent: points in one blob share a label.
+	first := res.Assign[0]
+	for i := 1; i < 200; i++ {
+		if res.Assign[i] != first {
+			t.Fatalf("first blob split across clusters at %d", i)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	d := blobs([][2]float64{{50, 50}}, 10, 1, 3)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(d, []int{0, 1}, 0, 10, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(d, []int{0, 1}, 100, 10, rng); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KMeans(d, []int{5}, 2, 10, rng); err == nil {
+		t.Error("bad attribute index accepted")
+	}
+}
+
+func TestGridCellMapping(t *testing.T) {
+	g, err := NewGrid(blobSchema(), []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 100 {
+		t.Fatalf("NumCells = %d, want 100", g.NumCells())
+	}
+	// Corner and boundary handling.
+	if got := g.CellOf(dataset.Tuple{0, 0}); got != 0 {
+		t.Errorf("cell of origin = %d", got)
+	}
+	if got := g.CellOf(dataset.Tuple{100, 100}); got != 99 {
+		t.Errorf("cell of max corner = %d, want 99 (clamped)", got)
+	}
+	// Round trip coords.
+	for _, cell := range []int{0, 7, 42, 99} {
+		coords := g.CellCoords(cell)
+		if back := g.cellFromCoords(coords); back != cell {
+			t.Errorf("coords round trip: %d -> %v -> %d", cell, coords, back)
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	s := blobSchema()
+	if _, err := NewGrid(s, []int{0}, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := NewGrid(s, nil, 5); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := NewGrid(s, []int{9}, 5); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	cat := dataset.NewSchema(dataset.Attribute{Name: "c", Kind: dataset.Categorical, Values: []string{"a"}})
+	if _, err := NewGrid(cat, []int{0}, 5); err == nil {
+		t.Error("categorical attribute accepted")
+	}
+}
+
+func TestGridEqual(t *testing.T) {
+	s := blobSchema()
+	a, _ := NewGrid(s, []int{0, 1}, 10)
+	b, _ := NewGrid(s, []int{0, 1}, 10)
+	c, _ := NewGrid(s, []int{0, 1}, 20)
+	d, _ := NewGrid(s, []int{0}, 10)
+	if !a.Equal(b) {
+		t.Error("identical grids unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different grids equal")
+	}
+}
+
+func TestBuildModelFindsBlobs(t *testing.T) {
+	d := blobs([][2]float64{{20, 20}, {80, 80}}, 300, 4, 5)
+	g, err := NewGrid(blobSchema(), []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(d, g, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", m.NumClusters)
+	}
+	// Points at the centers belong to different clusters; the middle of the
+	// space belongs to none.
+	c1 := m.ClusterOf(dataset.Tuple{20, 20})
+	c2 := m.ClusterOf(dataset.Tuple{80, 80})
+	if c1 == Outside || c2 == Outside || c1 == c2 {
+		t.Errorf("cluster labels: center1=%d center2=%d", c1, c2)
+	}
+	if m.ClusterOf(dataset.Tuple{50, 95}) != Outside {
+		t.Error("sparse corner assigned to a cluster")
+	}
+	// Measures: most of the data is inside the two clusters.
+	total := m.Selectivity(0) + m.Selectivity(1)
+	if total < 0.9 {
+		t.Errorf("clusters cover %v of data, want > 0.9", total)
+	}
+}
+
+func TestBuildModelMergesAdjacentCells(t *testing.T) {
+	// One elongated blob spanning several cells must become one cluster.
+	d := blobs([][2]float64{{30, 50}, {45, 50}, {60, 50}}, 300, 6, 7)
+	g, _ := NewGrid(blobSchema(), []int{0, 1}, 10)
+	m, err := BuildModel(d, g, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClusters != 1 {
+		t.Errorf("elongated blob split into %d clusters", m.NumClusters)
+	}
+}
+
+func TestBuildModelValidation(t *testing.T) {
+	d := blobs([][2]float64{{50, 50}}, 10, 1, 9)
+	g, _ := NewGrid(blobSchema(), []int{0, 1}, 5)
+	if _, err := BuildModel(d, g, -0.1); err == nil {
+		t.Error("negative density accepted")
+	}
+	if _, err := BuildModel(d, g, 1.1); err == nil {
+		t.Error("density > 1 accepted")
+	}
+}
+
+func TestModelCountsConsistent(t *testing.T) {
+	d := blobs([][2]float64{{20, 20}, {80, 80}}, 250, 3, 11)
+	g, _ := NewGrid(blobSchema(), []int{0, 1}, 8)
+	m, err := BuildModel(d, g, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts per cluster must equal direct per-tuple counting.
+	direct := make([]int, m.NumClusters)
+	for _, tu := range d.Tuples {
+		if c := m.ClusterOf(tu); c != Outside {
+			direct[c]++
+		}
+	}
+	for i := range direct {
+		if direct[i] != m.Counts[i] {
+			t.Errorf("cluster %d: model count %d, direct %d", i, m.Counts[i], direct[i])
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+
+	"focus/internal/dataset"
+)
+
+// Grid discretizes a projection of the attribute space onto chosen numeric
+// attributes into Bins^len(Attrs) axis-aligned cells. Two cluster models
+// over equal grids are cell-aligned, which makes their GCR the cell-wise
+// overlay (the refinement relation for cluster-models).
+type Grid struct {
+	Schema *dataset.Schema
+	Attrs  []int // numeric attribute indices
+	Bins   int   // bins per attribute
+	lo, hi []float64
+}
+
+// NewGrid builds a grid over the given numeric attributes of s, using the
+// attributes' schema domains as bounds.
+func NewGrid(s *dataset.Schema, attrs []int, bins int) (*Grid, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("cluster: bins %d <= 0", bins)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("cluster: grid needs at least one attribute")
+	}
+	g := &Grid{Schema: s, Attrs: attrs, Bins: bins}
+	for _, a := range attrs {
+		if a < 0 || a >= s.NumAttrs() || s.Attrs[a].Kind != dataset.Numeric {
+			return nil, fmt.Errorf("cluster: attribute %d is not numeric", a)
+		}
+		if s.Attrs[a].Max <= s.Attrs[a].Min {
+			return nil, fmt.Errorf("cluster: attribute %q has empty domain", s.Attrs[a].Name)
+		}
+		g.lo = append(g.lo, s.Attrs[a].Min)
+		g.hi = append(g.hi, s.Attrs[a].Max)
+	}
+	return g, nil
+}
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int {
+	n := 1
+	for range g.Attrs {
+		n *= g.Bins
+	}
+	return n
+}
+
+// Equal reports whether two grids discretize the same projection the same
+// way.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.Bins != o.Bins || len(g.Attrs) != len(o.Attrs) || !g.Schema.Equal(o.Schema) {
+		return false
+	}
+	for i := range g.Attrs {
+		if g.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CellOf returns the flat cell index of tuple t.
+func (g *Grid) CellOf(t dataset.Tuple) int {
+	cell := 0
+	for i, a := range g.Attrs {
+		b := int(float64(g.Bins) * (t[a] - g.lo[i]) / (g.hi[i] - g.lo[i]))
+		if b < 0 {
+			b = 0
+		}
+		if b >= g.Bins {
+			b = g.Bins - 1
+		}
+		cell = cell*g.Bins + b
+	}
+	return cell
+}
+
+// CellCoords returns the per-attribute bin indices of a flat cell index.
+func (g *Grid) CellCoords(cell int) []int {
+	m := len(g.Attrs)
+	coords := make([]int, m)
+	for i := m - 1; i >= 0; i-- {
+		coords[i] = cell % g.Bins
+		cell /= g.Bins
+	}
+	return coords
+}
+
+// cellFromCoords is the inverse of CellCoords.
+func (g *Grid) cellFromCoords(coords []int) int {
+	cell := 0
+	for _, c := range coords {
+		cell = cell*g.Bins + c
+	}
+	return cell
+}
+
+// Model is a grid-based cluster-model: each dense cell belongs to exactly
+// one cluster; sparse cells belong to no cluster (Outside), making the
+// region set non-exhaustive, as Section 2.4 allows.
+type Model struct {
+	Grid *Grid
+	// CellCluster maps each cell to a cluster id, or Outside.
+	CellCluster []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+	// Counts holds, per cluster, the absolute number of inducing tuples.
+	Counts []int
+	// N is the size of the inducing dataset.
+	N int
+}
+
+// Outside marks grid cells that belong to no cluster.
+const Outside = -1
+
+// BuildModel induces a cluster-model from d over grid g: cells holding at
+// least minDensity fraction of the tuples are dense, and orthogonally
+// adjacent dense cells are merged into clusters (grid-based clustering in
+// the spirit of the density-based methods the paper cites).
+func BuildModel(d *dataset.Dataset, g *Grid, minDensity float64) (*Model, error) {
+	if minDensity < 0 || minDensity > 1 {
+		return nil, fmt.Errorf("cluster: minDensity %v outside [0,1]", minDensity)
+	}
+	cellCounts := make([]int, g.NumCells())
+	for _, t := range d.Tuples {
+		cellCounts[g.CellOf(t)]++
+	}
+	minCount := int(minDensity*float64(d.Len()) + 0.999999)
+	if minCount < 1 {
+		minCount = 1
+	}
+	m := &Model{
+		Grid:        g,
+		CellCluster: make([]int, g.NumCells()),
+		N:           d.Len(),
+	}
+	for i := range m.CellCluster {
+		m.CellCluster[i] = Outside
+	}
+	// Union dense cells into connected components by BFS over the 2*dim
+	// orthogonal neighbours.
+	dim := len(g.Attrs)
+	for start, c := range cellCounts {
+		if c < minCount || m.CellCluster[start] != Outside {
+			continue
+		}
+		id := m.NumClusters
+		m.NumClusters++
+		m.Counts = append(m.Counts, 0)
+		queue := []int{start}
+		m.CellCluster[start] = id
+		for len(queue) > 0 {
+			cell := queue[0]
+			queue = queue[1:]
+			m.Counts[id] += cellCounts[cell]
+			coords := g.CellCoords(cell)
+			for i := 0; i < dim; i++ {
+				for _, delta := range [2]int{-1, 1} {
+					coords[i] += delta
+					if coords[i] >= 0 && coords[i] < g.Bins {
+						nb := g.cellFromCoords(coords)
+						if cellCounts[nb] >= minCount && m.CellCluster[nb] == Outside {
+							m.CellCluster[nb] = id
+							queue = append(queue, nb)
+						}
+					}
+					coords[i] -= delta
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// ClusterOf returns the cluster id of tuple t, or Outside.
+func (m *Model) ClusterOf(t dataset.Tuple) int {
+	return m.CellCluster[m.Grid.CellOf(t)]
+}
+
+// Selectivity returns the fraction of the inducing dataset in cluster id.
+func (m *Model) Selectivity(id int) float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.Counts[id]) / float64(m.N)
+}

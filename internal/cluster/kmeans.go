@@ -1,0 +1,149 @@
+// Package cluster implements the clustering substrate for cluster-models:
+// a standard k-means algorithm and a grid-based cluster model whose regions
+// are unions of grid cells. Per Section 2.4 of the paper, a cluster-model
+// identifies a set of non-overlapping regions that need not cover the whole
+// attribute space; deviation computation then proceeds exactly as for
+// dt-models over the overlay of the two region sets.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"focus/internal/dataset"
+)
+
+// KMeansResult holds the outcome of Lloyd's algorithm.
+type KMeansResult struct {
+	// Centroids holds k centroids over the clustered attributes.
+	Centroids [][]float64
+	// Assign maps each input tuple index to its centroid index.
+	Assign []int
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeans clusters the tuples of d, projected onto the numeric attributes
+// attrs, into k clusters using Lloyd's algorithm with k-means++ style
+// seeding drawn from rng. It runs until assignments stabilize or maxIter
+// iterations.
+func KMeans(d *dataset.Dataset, attrs []int, k, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k %d <= 0", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("cluster: %d tuples < k=%d", d.Len(), k)
+	}
+	for _, a := range attrs {
+		if a < 0 || a >= d.Schema.NumAttrs() || d.Schema.Attrs[a].Kind != dataset.Numeric {
+			return nil, fmt.Errorf("cluster: attribute %d is not a numeric attribute of the schema", a)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	m := len(attrs)
+	proj := func(t dataset.Tuple, out []float64) {
+		for i, a := range attrs {
+			out[i] = t[a]
+		}
+	}
+	dist2 := func(p []float64, t dataset.Tuple) float64 {
+		s := 0.0
+		for i, a := range attrs {
+			dd := p[i] - t[a]
+			s += dd * dd
+		}
+		return s
+	}
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := make([]float64, m)
+	proj(d.Tuples[rng.Intn(d.Len())], first)
+	centroids = append(centroids, first)
+	d2 := make([]float64, d.Len())
+	for len(centroids) < k {
+		total := 0.0
+		for i, t := range d.Tuples {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if v := dist2(c, t); v < best {
+					best = v
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(d.Len())
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			pick = d.Len() - 1
+			for i, v := range d2 {
+				acc += v
+				if acc >= u {
+					pick = i
+					break
+				}
+			}
+		}
+		c := make([]float64, m)
+		proj(d.Tuples[pick], c)
+		centroids = append(centroids, c)
+	}
+
+	assign := make([]int, d.Len())
+	for i := range assign {
+		assign[i] = -1
+	}
+	sums := make([][]float64, k)
+	ns := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, m)
+	}
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i := range sums {
+			for j := range sums[i] {
+				sums[i][j] = 0
+			}
+			ns[i] = 0
+		}
+		for i, t := range d.Tuples {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if v := dist2(centroids[c], t); v < bestD {
+					best, bestD = c, v
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			for j, a := range attrs {
+				sums[best][j] += t[a]
+			}
+			ns[best]++
+		}
+		for c := range centroids {
+			if ns[c] == 0 {
+				// Re-seed an empty cluster on a random tuple.
+				proj(d.Tuples[rng.Intn(d.Len())], centroids[c])
+				changed = true
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(ns[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &KMeansResult{Centroids: centroids, Assign: assign, Iterations: iters}, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+
+	"focus/internal/cluster"
+	"focus/internal/dataset"
+)
+
+// ClusterModel is a cluster-model (Section 2.4): the structural component is
+// a set of non-overlapping regions (here, unions of grid cells), one per
+// cluster, which need not cover the attribute space; the measure component
+// is the fraction of the inducing dataset in each cluster. Its treatment is
+// a special case of dt-models: the GCR of two cell-aligned cluster models is
+// the overlay of their cluster labelings.
+type ClusterModel struct {
+	M *cluster.Model
+}
+
+// BuildClusterModel induces a cluster-model from d over grid g with the
+// given density threshold.
+func BuildClusterModel(d *dataset.Dataset, g *cluster.Grid, minDensity float64) (*ClusterModel, error) {
+	m, err := cluster.BuildModel(d, g, minDensity)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterModel{M: m}, nil
+}
+
+// NumClusters returns the number of regions in the structural component.
+func (m *ClusterModel) NumClusters() int { return m.M.NumClusters }
+
+// ClusterDeviation computes delta(f,g) between d1 and d2 through their
+// cluster-models m1 and m2, which must share one grid. The GCR regions are
+// the non-empty label pairs (c1, c2) of the overlay, excluding the pair
+// (Outside, Outside), which belongs to neither structural component —
+// cluster-model structural components are non-exhaustive (Section 2.4).
+func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc) (float64, error) {
+	if !m1.M.Grid.Equal(m2.M.Grid) {
+		return 0, errors.New("core: cluster-models over different grids have no cell-aligned GCR")
+	}
+	type key struct{ c1, c2 int }
+	idx := make(map[key]int)
+	var regions []MeasuredRegion
+	slot := func(c1, c2 int) int {
+		k := key{c1, c2}
+		i, ok := idx[k]
+		if !ok {
+			i = len(regions)
+			idx[k] = i
+			regions = append(regions, MeasuredRegion{})
+		}
+		return i
+	}
+	for _, t := range d1.Tuples {
+		c1, c2 := m1.M.ClusterOf(t), m2.M.ClusterOf(t)
+		if c1 == cluster.Outside && c2 == cluster.Outside {
+			continue
+		}
+		regions[slot(c1, c2)].Alpha1++
+	}
+	for _, t := range d2.Tuples {
+		c1, c2 := m1.M.ClusterOf(t), m2.M.ClusterOf(t)
+		if c1 == cluster.Outside && c2 == cluster.Outside {
+			continue
+		}
+		regions[slot(c1, c2)].Alpha2++
+	}
+	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+}

@@ -1,0 +1,129 @@
+// Package core implements the FOCUS framework of the paper: 2-component
+// models (a structural component of regions plus a measure component of
+// selectivities), the refinement relation and greatest common refinement
+// (GCR) for lits-, dt- and cluster-models, the deviation measure
+// delta(f,g) and its focussed variant, the model-only upper bound delta*
+// for lits-models, the structural and rank operators of Section 5, and the
+// misclassification-error and chi-squared instantiations of Section 5.2.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiffFunc is the difference function f of Definition 3.5, with the paper's
+// signature f(alpha1, alpha2, |D1|, |D2|): alpha1 and alpha2 are the
+// absolute numbers of tuples mapped into a region by each dataset, n1 and n2
+// the dataset sizes. Absolute measures (rather than selectivities) are used
+// because some instantiations — the chi-squared f of Section 5.2.2 — need
+// them.
+type DiffFunc func(alpha1, alpha2, n1, n2 float64) float64
+
+// AggFunc is the aggregate function g of Definition 3.5, combining
+// per-region differences into a single deviation.
+type AggFunc func(diffs []float64) float64
+
+// AbsoluteDiff is f_a of Definition 3.7: the absolute difference of the two
+// selectivities. With g = Sum it weighs all support shifts equally.
+func AbsoluteDiff(alpha1, alpha2, n1, n2 float64) float64 {
+	return math.Abs(sel(alpha1, n1) - sel(alpha2, n2))
+}
+
+// ScaledDiff is f_s of Definition 3.7: the absolute difference scaled by the
+// mean selectivity, emphasizing changes in small regions (an itemset
+// appearing for the first time matters more than a small shift in an already
+// frequent one).
+func ScaledDiff(alpha1, alpha2, n1, n2 float64) float64 {
+	if alpha1+alpha2 <= 0 {
+		return 0
+	}
+	s1, s2 := sel(alpha1, n1), sel(alpha2, n2)
+	return math.Abs(s1-s2) / ((s1 + s2) / 2)
+}
+
+// ChiSquaredDiff returns the difference function of Proposition 5.1, which
+// makes delta(f, Sum) the chi-squared goodness-of-fit statistic over the
+// regions of a dt-model: |D2| * (sigma1 - sigma2)^2 / sigma1, with the
+// constant c substituted when the expected selectivity sigma1 is zero
+// (the standard continuity fix; 0.5 is a common choice for c).
+func ChiSquaredDiff(c float64) DiffFunc {
+	return func(alpha1, alpha2, n1, n2 float64) float64 {
+		if alpha1 <= 0 {
+			return c
+		}
+		s1, s2 := sel(alpha1, n1), sel(alpha2, n2)
+		d := s1 - s2
+		return n2 * d * d / s1
+	}
+}
+
+func sel(alpha, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return alpha / n
+}
+
+// Sum is g_sum: deviations add up across regions.
+func Sum(diffs []float64) float64 {
+	s := 0.0
+	for _, d := range diffs {
+		s += d
+	}
+	return s
+}
+
+// Max is g_max: the deviation is the largest per-region difference.
+func Max(diffs []float64) float64 {
+	m := 0.0
+	for _, d := range diffs {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// DiffByName resolves "fa"/"absolute" and "fs"/"scaled" to the standard
+// difference functions; it is used by the CLI tools.
+func DiffByName(name string) (DiffFunc, error) {
+	switch name {
+	case "fa", "absolute":
+		return AbsoluteDiff, nil
+	case "fs", "scaled":
+		return ScaledDiff, nil
+	default:
+		return nil, fmt.Errorf("core: unknown difference function %q (want fa or fs)", name)
+	}
+}
+
+// AggByName resolves "sum" and "max" to the standard aggregate functions.
+func AggByName(name string) (AggFunc, error) {
+	switch name {
+	case "sum":
+		return Sum, nil
+	case "max":
+		return Max, nil
+	default:
+		return nil, fmt.Errorf("core: unknown aggregate function %q (want sum or max)", name)
+	}
+}
+
+// MeasuredRegion carries the measure component of one region of a (refined)
+// structural component with respect to both datasets: the absolute tuple
+// counts alpha1 and alpha2.
+type MeasuredRegion struct {
+	Alpha1, Alpha2 float64
+}
+
+// Deviation1 is delta_1 of Definition 3.5: the deviation between two models
+// whose structural components are identical, given the per-region measures
+// from both datasets and the dataset sizes.
+func Deviation1(regions []MeasuredRegion, n1, n2 float64, f DiffFunc, g AggFunc) float64 {
+	diffs := make([]float64, len(regions))
+	for i, r := range regions {
+		diffs[i] = f(r.Alpha1, r.Alpha2, n1, n2)
+	}
+	return g(diffs)
+}

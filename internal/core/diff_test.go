@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsoluteDiff(t *testing.T) {
+	cases := []struct {
+		a1, a2, n1, n2, want float64
+	}{
+		{50, 10, 100, 100, 0.4},
+		{10, 50, 100, 100, 0.4}, // symmetric
+		{50, 25, 100, 50, 0},    // equal selectivities
+		{0, 0, 100, 100, 0},
+		{100, 0, 100, 100, 1},
+	}
+	for _, c := range cases {
+		if got := AbsoluteDiff(c.a1, c.a2, c.n1, c.n2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("f_a(%v,%v,%v,%v) = %v, want %v", c.a1, c.a2, c.n1, c.n2, got, c.want)
+		}
+	}
+}
+
+func TestScaledDiff(t *testing.T) {
+	// Paper's motivating example (Section 3.3.2): 0.50 -> 0.55 is a small
+	// scaled change; 0.00 -> 0.05 is the maximal scaled change (2).
+	small := ScaledDiff(50, 55, 100, 100)
+	big := ScaledDiff(0, 5, 100, 100)
+	if small >= big {
+		t.Errorf("f_s(0.50,0.55)=%v should be < f_s(0,0.05)=%v", small, big)
+	}
+	if math.Abs(big-2) > 1e-12 {
+		t.Errorf("f_s(0, 0.05) = %v, want 2 (maximal relative change)", big)
+	}
+	if got := ScaledDiff(0, 0, 100, 100); got != 0 {
+		t.Errorf("f_s(0,0) = %v, want 0", got)
+	}
+	want := 0.05 / 0.525
+	if got := ScaledDiff(50, 55, 100, 100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("f_s(0.5,0.55) = %v, want %v", got, want)
+	}
+}
+
+func TestChiSquaredDiffFunc(t *testing.T) {
+	f := ChiSquaredDiff(0.5)
+	// sigma1 = 0.2, sigma2 = 0.3, n2 = 200: 200 * 0.01 / 0.2 = 10.
+	if got := f(20, 60, 100, 200); math.Abs(got-10) > 1e-9 {
+		t.Errorf("chi2 diff = %v, want 10", got)
+	}
+	// Zero expectation yields the constant.
+	if got := f(0, 60, 100, 200); got != 0.5 {
+		t.Errorf("chi2 diff at zero expectation = %v, want 0.5", got)
+	}
+}
+
+func TestSumAndMax(t *testing.T) {
+	vals := []float64{0.2, 0.5, 0.1}
+	if got := Sum(vals); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Max(vals); got != 0.5 {
+		t.Errorf("Max = %v", got)
+	}
+	if Sum(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+}
+
+func TestDiffByNameAndAggByName(t *testing.T) {
+	if _, err := DiffByName("fa"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DiffByName("scaled"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DiffByName("nope"); err == nil {
+		t.Error("unknown diff name accepted")
+	}
+	if _, err := AggByName("sum"); err != nil {
+		t.Error(err)
+	}
+	if _, err := AggByName("max"); err != nil {
+		t.Error(err)
+	}
+	if _, err := AggByName("median"); err == nil {
+		t.Error("unknown agg name accepted")
+	}
+}
+
+func TestDeviation1(t *testing.T) {
+	regions := []MeasuredRegion{{10, 20}, {30, 30}}
+	got := Deviation1(regions, 100, 100, AbsoluteDiff, Sum)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Deviation1 = %v, want 0.1", got)
+	}
+	if got := Deviation1(nil, 100, 100, AbsoluteDiff, Sum); got != 0 {
+		t.Errorf("Deviation1 of no regions = %v", got)
+	}
+}
+
+// Properties of the difference functions themselves.
+func TestDiffFunctionProperties(t *testing.T) {
+	f := func(a1Raw, a2Raw uint16, n1Raw, n2Raw uint16) bool {
+		n1 := float64(n1Raw%1000) + 1
+		n2 := float64(n2Raw%1000) + 1
+		a1 := math.Mod(float64(a1Raw), n1)
+		a2 := math.Mod(float64(a2Raw), n2)
+		fa := AbsoluteDiff(a1, a2, n1, n2)
+		fs := ScaledDiff(a1, a2, n1, n2)
+		// Non-negativity.
+		if fa < 0 || fs < 0 {
+			return false
+		}
+		// Symmetry in the region measures.
+		if math.Abs(fa-AbsoluteDiff(a2, a1, n2, n1)) > 1e-12 {
+			return false
+		}
+		if math.Abs(fs-ScaledDiff(a2, a1, n2, n1)) > 1e-12 {
+			return false
+		}
+		// Ranges: f_a <= 1, f_s <= 2.
+		if fa > 1+1e-12 || fs > 2+1e-12 {
+			return false
+		}
+		// Identity of indiscernibles for f_a at equal selectivities.
+		if a1/n1 == a2/n2 && fa != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/region"
+)
+
+// DTModel is a dt-model (Section 2.1): the structural component is the set
+// of per-class regions induced by the leaves of a decision tree (k regions
+// per leaf for k classes, partitioning the attribute space), and the measure
+// component is the fraction of the inducing dataset in each region. The
+// refinement relation is partition refinement (Definition 4.2); the GCR of
+// two dt-models is the overlay of their two partitions.
+type DTModel struct {
+	Tree *dtree.Tree
+	// N is the size of the inducing dataset.
+	N int
+}
+
+// BuildDTModel induces a dt-model from d.
+func BuildDTModel(d *dataset.Dataset, cfg dtree.Config) (*DTModel, error) {
+	t, err := dtree.Build(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DTModel{Tree: t, N: d.Len()}, nil
+}
+
+// GCRRegion is one region of the GCR of two dt-models: the geometric
+// intersection of a leaf box from each tree, carrying one class label
+// (Definition 4.2 — predicates are "anded" pairwise; an identical structure
+// exists per class label).
+type GCRRegion struct {
+	Leaf1, Leaf2 int
+	Class        int
+	// Box is the geometric intersection of the two leaf boxes (without the
+	// class constraint, which Class carries).
+	Box *region.Box
+}
+
+// DTGCRRegions returns the structural component of the GCR of two dt-models:
+// every geometrically non-empty pairwise intersection of their leaf boxes,
+// replicated per class label. Both models must be defined over equal
+// schemas.
+func DTGCRRegions(m1, m2 *DTModel) ([]GCRRegion, error) {
+	if !m1.Tree.Schema.Equal(m2.Tree.Schema) {
+		return nil, errors.New("core: dt-models over different schemas have no GCR")
+	}
+	k := m1.Tree.NumClasses()
+	l1 := m1.Tree.Leaves()
+	l2 := m2.Tree.Leaves()
+	var out []GCRRegion
+	for _, a := range l1 {
+		for _, b := range l2 {
+			box := a.Box.Intersect(b.Box)
+			if box == nil {
+				continue
+			}
+			for c := 0; c < k; c++ {
+				out = append(out, GCRRegion{Leaf1: a.ID, Leaf2: b.ID, Class: c, Box: box})
+			}
+		}
+	}
+	return out, nil
+}
+
+// DTOptions tunes a dt-model deviation computation.
+type DTOptions struct {
+	// Focus, when non-nil, restricts the deviation to the given region
+	// (Definition 5.2): every GCR region is intersected with it, and only
+	// tuples inside it are counted. The box may constrain the class
+	// attribute as well, focussing on the regions of particular classes.
+	Focus *region.Box
+}
+
+// DTDeviation computes delta(f,g) between the datasets d1 and d2 through
+// their dt-models m1 and m2 (Definition 3.6). Both models are extended to
+// the GCR overlay; measures are obtained by routing every tuple of each
+// dataset down both trees simultaneously (a single scan per dataset,
+// Section 3.3.1), so a GCR region's counts are indexed by the leaf pair the
+// tuple reaches plus its class label.
+func DTDeviation(m1, m2 *DTModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc, opts DTOptions) (float64, error) {
+	gcr, err := DTGCRRegions(m1, m2)
+	if err != nil {
+		return 0, err
+	}
+	if !d1.Schema.Equal(m1.Tree.Schema) || !d2.Schema.Equal(m1.Tree.Schema) {
+		return 0, errors.New("core: datasets and models must share one schema")
+	}
+	k := m1.Tree.NumClasses()
+
+	// Index the (geometrically non-empty) GCR regions by (leaf1, leaf2,
+	// class), applying the focussing intersection first.
+	type key struct{ l1, l2, c int }
+	idx := make(map[key]int, len(gcr))
+	regions := make([]MeasuredRegion, 0, len(gcr))
+	for _, r := range gcr {
+		if opts.Focus != nil {
+			fb := r.Box.Intersect(opts.Focus)
+			if fb == nil {
+				continue
+			}
+			if !classAllowed(opts.Focus, r.Class) {
+				continue
+			}
+		}
+		idx[key{r.Leaf1, r.Leaf2, r.Class}] = len(regions)
+		regions = append(regions, MeasuredRegion{})
+	}
+
+	inFocus := func(t dataset.Tuple) bool {
+		return opts.Focus == nil || opts.Focus.Contains(t)
+	}
+	for _, t := range d1.Tuples {
+		if !inFocus(t) {
+			continue
+		}
+		c := t.Class(d1.Schema)
+		if c >= k {
+			return 0, fmt.Errorf("core: tuple class %d outside model's %d classes", c, k)
+		}
+		if i, ok := idx[key{m1.Tree.LeafID(t), m2.Tree.LeafID(t), c}]; ok {
+			regions[i].Alpha1++
+		}
+	}
+	for _, t := range d2.Tuples {
+		if !inFocus(t) {
+			continue
+		}
+		c := t.Class(d2.Schema)
+		if c >= k {
+			return 0, fmt.Errorf("core: tuple class %d outside model's %d classes", c, k)
+		}
+		if i, ok := idx[key{m1.Tree.LeafID(t), m2.Tree.LeafID(t), c}]; ok {
+			regions[i].Alpha2++
+		}
+	}
+	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+}
+
+// classAllowed reports whether the focus box admits the given class label.
+func classAllowed(focus *region.Box, class int) bool {
+	s := focus.Schema()
+	if s.Class < 0 {
+		return true
+	}
+	cs := focus.Cats[s.Class]
+	return cs == nil || (class < len(cs) && cs[class])
+}
+
+// DTDeviationOverTree computes delta_1(f,g) between d1 and d2 over the
+// structural component of a single tree (Definition 3.5 — the structural
+// components are identical by construction). This is the change-monitoring
+// setting of Section 5.2: the old model's structure is imposed on the new
+// data. All leaf-by-class regions are included, so difference functions
+// that are non-zero on empty regions (the chi-squared f) see every cell.
+func DTDeviationOverTree(t *dtree.Tree, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc) (float64, error) {
+	if !d1.Schema.Equal(t.Schema) || !d2.Schema.Equal(t.Schema) {
+		return 0, errors.New("core: datasets and tree must share one schema")
+	}
+	k := t.NumClasses()
+	regions := make([]MeasuredRegion, t.NumLeaves()*k)
+	for _, x := range d1.Tuples {
+		regions[t.LeafID(x)*k+x.Class(d1.Schema)].Alpha1++
+	}
+	for _, x := range d2.Tuples {
+		regions[t.LeafID(x)*k+x.Class(d2.Schema)].Alpha2++
+	}
+	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+}
+
+// DTDeviationOverRegions computes delta_1(f,g) between d1 and d2 over an
+// explicit region set (each box must carry its class constraint, or none to
+// count all classes together). It is used by the operator pipeline of
+// Section 5 and to verify Theorem 4.3 against arbitrary common refinements.
+func DTDeviationOverRegions(regions []*region.Box, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc) float64 {
+	mr := make([]MeasuredRegion, len(regions))
+	for _, t := range d1.Tuples {
+		for i, b := range regions {
+			if b.Contains(t) {
+				mr[i].Alpha1++
+			}
+		}
+	}
+	for _, t := range d2.Tuples {
+		for i, b := range regions {
+			if b.Contains(t) {
+				mr[i].Alpha2++
+			}
+		}
+	}
+	return Deviation1(mr, float64(d1.Len()), float64(d2.Len()), f, g)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the dataset-collection embedding sketched in
+// Section 4.1.1: because delta* satisfies the triangle inequality
+// (Theorem 4.2(2)) and needs no dataset scans, a collection of datasets can
+// be compared pairwise through their models alone and embedded into a
+// low-dimensional space for visual comparison.
+
+// UpperBoundMatrix returns the symmetric matrix of pairwise delta*(g)
+// values over a collection of lits-models. Only the models are consulted —
+// for n models this is n(n-1)/2 model-level computations and zero dataset
+// scans.
+func UpperBoundMatrix(models []*LitsModel, g AggFunc) [][]float64 {
+	n := len(models)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := LitsUpperBound(models[i], models[j], g)
+			m[i][j] = d
+			m[j][i] = d
+		}
+	}
+	return m
+}
+
+// Embed performs classical multidimensional scaling of a symmetric distance
+// matrix into dims dimensions: the matrix of squared distances is double-
+// centered into a Gram matrix, whose top eigenpairs (found by power
+// iteration with deflation) give the coordinates. Points are returned in
+// input order; coordinates are only defined up to rotation/reflection.
+//
+// The embedding is exact when the distances are Euclidean-realizable in
+// dims dimensions and a least-squares approximation otherwise (delta* is a
+// metric but not necessarily Euclidean). Eigenvalues that come out
+// non-positive contribute zero coordinates.
+func Embed(distances [][]float64, dims int) ([][]float64, error) {
+	n := len(distances)
+	if n == 0 {
+		return nil, nil
+	}
+	if dims <= 0 {
+		return nil, fmt.Errorf("core: embedding needs dims >= 1, got %d", dims)
+	}
+	for i, row := range distances {
+		if len(row) != n {
+			return nil, fmt.Errorf("core: distance matrix is not square (row %d has %d entries)", i, len(row))
+		}
+		for j := range row {
+			if row[j] < 0 {
+				return nil, fmt.Errorf("core: negative distance at (%d,%d)", i, j)
+			}
+			if math.Abs(row[j]-distances[j][i]) > 1e-9 {
+				return nil, fmt.Errorf("core: distance matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Gram matrix B = -1/2 * J D^2 J with J the centering matrix.
+	b := make([][]float64, n)
+	rowMean := make([]float64, n)
+	total := 0.0
+	for i := range b {
+		b[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d2 := distances[i][j] * distances[i][j]
+			b[i][j] = d2
+			rowMean[i] += d2
+			total += d2
+		}
+		rowMean[i] /= float64(n)
+	}
+	total /= float64(n * n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i][j] = -0.5 * (b[i][j] - rowMean[i] - rowMean[j] + total)
+		}
+	}
+
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = make([]float64, dims)
+	}
+	for k := 0; k < dims; k++ {
+		lambda, vec := powerIteration(b, 500, 1e-10, int64(k+1))
+		if lambda <= 1e-12 {
+			break // remaining structure is non-Euclidean noise
+		}
+		scale := math.Sqrt(lambda)
+		for i := 0; i < n; i++ {
+			coords[i][k] = vec[i] * scale
+		}
+		// Deflate: B -= lambda * v v^T.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i][j] -= lambda * vec[i] * vec[j]
+			}
+		}
+	}
+	return coords, nil
+}
+
+// powerIteration finds the dominant eigenpair of the symmetric matrix b.
+// A deterministic pseudo-random start vector (seeded) avoids pathological
+// orthogonal starts.
+func powerIteration(b [][]float64, maxIter int, tol float64, seed int64) (float64, []float64) {
+	n := len(b)
+	v := make([]float64, n)
+	// Simple deterministic LCG start.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := range v {
+		x = x*6364136223846793005 + 1442695040888963407
+		v[i] = float64(x>>11)/float64(1<<53) - 0.5
+	}
+	normalize(v)
+	next := make([]float64, n)
+	lambda := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += b[i][j] * v[j]
+			}
+			next[i] = s
+		}
+		newLambda := dot(v, next)
+		nrm := norm(next)
+		if nrm == 0 {
+			return 0, v
+		}
+		for i := range next {
+			next[i] /= nrm
+		}
+		v, next = next, v
+		if math.Abs(newLambda-lambda) < tol*math.Max(1, math.Abs(newLambda)) {
+			lambda = newLambda
+			break
+		}
+		lambda = newLambda
+	}
+	return lambda, v
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func normalize(a []float64) {
+	n := norm(a)
+	if n == 0 {
+		return
+	}
+	for i := range a {
+		a[i] /= n
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUpperBoundMatrixSymmetricZeroDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	var models []*LitsModel
+	for i := 0; i < 4; i++ {
+		d := skewedTxnDataset(rng, 120, 10, 5)
+		m, err := MineLits(d, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	mat := UpperBoundMatrix(models, Sum)
+	for i := range mat {
+		if mat[i][i] != 0 {
+			t.Errorf("diagonal (%d,%d) = %v", i, i, mat[i][i])
+		}
+		for j := range mat {
+			if mat[i][j] != mat[j][i] {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+			if mat[i][j] < 0 {
+				t.Errorf("negative distance at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Triangle inequality across the whole matrix (Theorem 4.2(2)).
+	n := len(mat)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if mat[i][j] > mat[i][k]+mat[k][j]+1e-9 {
+					t.Fatalf("triangle violated: d(%d,%d)=%v > %v + %v", i, j, mat[i][j], mat[i][k], mat[k][j])
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedRecoversPlanarConfiguration(t *testing.T) {
+	// Four points forming a unit square: distances are exactly Euclidean,
+	// so a 2D embedding must reproduce them.
+	pts := [][2]float64{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	n := len(pts)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist {
+			dx := pts[i][0] - pts[j][0]
+			dy := pts[i][1] - pts[j][1]
+			dist[i][j] = math.Hypot(dx, dy)
+		}
+	}
+	coords, err := Embed(dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := math.Hypot(coords[i][0]-coords[j][0], coords[i][1]-coords[j][1])
+			if math.Abs(got-dist[i][j]) > 1e-6 {
+				t.Fatalf("embedded distance (%d,%d) = %v, want %v", i, j, got, dist[i][j])
+			}
+		}
+	}
+}
+
+func TestEmbedCollinearNeedsOneDimension(t *testing.T) {
+	// Three collinear points: the second coordinate must be ~0.
+	dist := [][]float64{
+		{0, 1, 3},
+		{1, 0, 2},
+		{3, 2, 0},
+	}
+	coords, err := Embed(dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coords {
+		if math.Abs(coords[i][1]) > 1e-6 {
+			t.Errorf("point %d has second coordinate %v, want ~0", i, coords[i][1])
+		}
+	}
+	got := math.Abs(coords[0][0] - coords[2][0])
+	if math.Abs(got-3) > 1e-6 {
+		t.Errorf("embedded span = %v, want 3", got)
+	}
+}
+
+func TestEmbedValidation(t *testing.T) {
+	if _, err := Embed([][]float64{{0, 1}, {1, 0}}, 0); err == nil {
+		t.Error("dims=0 accepted")
+	}
+	if _, err := Embed([][]float64{{0, 1}}, 1); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := Embed([][]float64{{0, -1}, {-1, 0}}, 1); err == nil {
+		t.Error("negative distance accepted")
+	}
+	if _, err := Embed([][]float64{{0, 1}, {2, 0}}, 1); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	coords, err := Embed(nil, 2)
+	if err != nil || coords != nil {
+		t.Error("empty matrix should embed to nil")
+	}
+}
+
+func TestEmbedModelCollection(t *testing.T) {
+	// Three same-process datasets plus one from a different process: in the
+	// delta* embedding, the outlier must sit farther from the same-process
+	// cluster's points than they sit from each other.
+	rng := rand.New(rand.NewSource(41))
+	var models []*LitsModel
+	for i := 0; i < 3; i++ {
+		d := skewedTxnDataset(rng, 200, 12, 5)
+		m, err := MineLits(d, 0.12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	// Outlier: much denser transactions change every support.
+	outlier := skewedTxnDataset(rng, 200, 12, 10)
+	mo, err := MineLits(outlier, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, mo)
+
+	mat := UpperBoundMatrix(models, Sum)
+	coords, err := Embed(mat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euclid := func(a, b []float64) float64 {
+		return math.Hypot(a[0]-b[0], a[1]-b[1])
+	}
+	maxWithin := 0.0
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if d := euclid(coords[i], coords[j]); d > maxWithin {
+				maxWithin = d
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if d := euclid(coords[3], coords[i]); d <= maxWithin {
+			t.Errorf("outlier distance %v not beyond in-cluster spread %v", d, maxWithin)
+		}
+	}
+}

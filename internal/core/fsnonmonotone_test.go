@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"focus/internal/dataset"
+	"focus/internal/region"
+)
+
+// The paper notes (Section 5) that focussed deviations with f_a are
+// monotone in the focussing region for g in {sum, max}, "however, the same
+// is not true for delta(f_s, g)". This is the witness: enlarging the focus
+// region can DECREASE the scaled deviation, because the region's measures
+// under both datasets grow and their relative difference shrinks.
+func TestScaledDiffFocusNotMonotone(t *testing.T) {
+	s := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Min: 0, Max: 1},
+	)
+	// D1 lives entirely in (0, 0.5]; D2 entirely in (0.5, 1].
+	d1 := dataset.New(s)
+	d2 := dataset.New(s)
+	for i := 0; i < 100; i++ {
+		d1.Add(dataset.Tuple{0.25})
+		d2.Add(dataset.Tuple{0.75})
+	}
+	full := region.Full(s)
+	narrow := full.ConstrainUpper(0, 0.5) // R: only D1 mass
+	wide := full                          // R': both masses
+
+	// One-region structural component (a single-leaf model), focussed by
+	// intersecting the region with R and R' respectively.
+	devNarrow := DTDeviationOverRegions([]*region.Box{narrow}, d1, d2, ScaledDiff, Sum)
+	devWide := DTDeviationOverRegions([]*region.Box{wide}, d1, d2, ScaledDiff, Sum)
+
+	// Over R: selectivities (1, 0) -> f_s = 2 (maximal). Over R' ⊇ R:
+	// selectivities (1, 1) -> f_s = 0. Monotonicity fails.
+	if devNarrow != 2 {
+		t.Fatalf("narrow-focus scaled deviation = %v, want 2", devNarrow)
+	}
+	if devWide != 0 {
+		t.Fatalf("wide-focus scaled deviation = %v, want 0", devWide)
+	}
+	// Note: when the focus boundary cuts through a structural region, the
+	// cancellation above affects f_a just the same; the f_a monotonicity
+	// the paper states holds for focus regions aligned with the GCR's
+	// boundaries, covered by TestDTFocusMonotoneOnAlignedBoxes and
+	// TestDTClassFocusDecomposition.
+}

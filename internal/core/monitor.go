@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/stats"
+)
+
+// This file implements the change-monitoring instantiations of Section 5.2:
+// the misclassification error (Theorem 5.2) and the chi-squared
+// goodness-of-fit statistic (Proposition 5.1) as special cases of the FOCUS
+// deviation, with the bootstrap-based exact test of Section 5.2.2.
+
+// MisclassificationViaFOCUS computes ME_T(D2) through the framework
+// (Theorem 5.2): it is half the deviation delta(f_a, Sum) between D2 and the
+// predicted dataset D2^T over the structural component of T.
+func MisclassificationViaFOCUS(t *dtree.Tree, d2 *dataset.Dataset) (float64, error) {
+	predicted := t.PredictedDataset(d2)
+	dev, err := DTDeviationOverTree(t, d2, predicted, AbsoluteDiff, Sum)
+	if err != nil {
+		return 0, err
+	}
+	return dev / 2, nil
+}
+
+// ChiSquared computes the chi-squared goodness-of-fit statistic of
+// Proposition 5.1 over the cells of the dt-model induced by d1: expected
+// measures come from d1, observed measures from d2, with the constant c
+// (0.5 is the standard choice) substituted at cells of zero expectation.
+// It is, by the proposition, exactly delta(f, Sum) with the chi-squared
+// difference function.
+func ChiSquared(t *dtree.Tree, d1, d2 *dataset.Dataset, c float64) (float64, error) {
+	return DTDeviationOverTree(t, d1, d2, ChiSquaredDiff(c), Sum)
+}
+
+// ChiSquaredTestResult reports the bootstrap goodness-of-fit test of
+// Section 5.2.2.
+type ChiSquaredTestResult struct {
+	// X2 is the observed statistic between the old data and the new data.
+	X2 float64
+	// PValue is the bootstrap estimate of P(X2_null >= X2): how often a
+	// dataset that genuinely fits the old model produces a statistic at
+	// least as large.
+	PValue float64
+	// Null is the sorted bootstrap null distribution of the statistic.
+	Null []float64
+	// DFApprox is the cell count minus one — the degrees of freedom the
+	// textbook test would use if its preconditions (at least 80% of expected
+	// counts above 5) held; exposed for comparison.
+	DFApprox int
+}
+
+// ChiSquaredBootstrapTest performs the chi-squared test with the exact null
+// distribution estimated by bootstrapping (Section 5.2.2): the expected-cell
+// preconditions of the textbook test routinely fail on decision-tree cells
+// (pure leaves have zero expected counts for the other classes), so the null
+// distribution of X2 is estimated from resamples of D1 — data that fits the
+// old model by construction.
+//
+// Each null replicate replays the entire observed procedure on data that
+// satisfies H0 by construction (the qualification recipe of Section 3.4):
+// both datasets are pooled, a |D1|-sized and a |D2|-sized resample are drawn
+// from the pool, a tree is rebuilt (with cfg) on the first, and the
+// statistic is computed against the second over the rebuilt tree's cells.
+// Replaying everything matters: split thresholds are optimized on the
+// expected-side data, the expected measures carry that data's sampling
+// error, and only a null that regenerates both effects is calibrated for
+// genuinely same-process new data.
+func ChiSquaredBootstrapTest(t *dtree.Tree, cfg dtree.Config, d1, d2 *dataset.Dataset, c float64, replicates int, seed int64) (ChiSquaredTestResult, error) {
+	x2, err := ChiSquared(t, d1, d2, c)
+	if err != nil {
+		return ChiSquaredTestResult{}, err
+	}
+	pool, err := d1.Concat(d2)
+	if err != nil {
+		return ChiSquaredTestResult{}, err
+	}
+	n1, n2 := d1.Len(), d2.Len()
+	null := stats.NullDistribution(replicates, seed, func(rng *rand.Rand) float64 {
+		expectedSide := pool.Resample(n1, rng)
+		observedSide := pool.Resample(n2, rng)
+		rt, rerr := dtree.Build(expectedSide, cfg)
+		if rerr != nil {
+			panic(rerr) // the pool is non-empty with a class schema, as validated above
+		}
+		v, rerr := ChiSquared(rt, expectedSide, observedSide, c)
+		if rerr != nil {
+			// Schemas are fixed here; an error cannot occur after the
+			// initial computation succeeded.
+			panic(rerr)
+		}
+		return v
+	})
+	atLeast := 0
+	for _, v := range null {
+		if v >= x2 {
+			atLeast++
+		}
+	}
+	return ChiSquaredTestResult{
+		X2:       x2,
+		PValue:   float64(atLeast) / float64(len(null)),
+		Null:     null,
+		DFApprox: t.NumLeaves()*t.NumClasses() - 1,
+	}, nil
+}

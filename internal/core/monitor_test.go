@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+
+	"testing"
+
+	"focus/internal/classgen"
+	"focus/internal/dtree"
+)
+
+// Theorem 5.2: ME_T(D2) = 1/2 * delta(f_a, g_sum) between D2 and D2^T over
+// the structure of T — verified exactly on randomized inputs.
+func TestTheorem52MisclassificationEquality(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		train, err := classgen.Generate(classgen.Config{NumTuples: 1500, Function: classgen.F2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		test, err := classgen.Generate(classgen.Config{NumTuples: 1000, Function: classgen.F3, Seed: seed + 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := dtree.Build(train, dtree.Config{MaxDepth: 6, MinLeaf: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := tree.MisclassificationError(test)
+		viaFocus, err := MisclassificationViaFOCUS(tree, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(direct-viaFocus) > 1e-12 {
+			t.Errorf("seed %d: direct ME %v != FOCUS ME %v", seed, direct, viaFocus)
+		}
+	}
+}
+
+// Proposition 5.1: the FOCUS chi-squared instantiation equals the direct
+// statistic over the tree's cells.
+func TestProposition51ChiSquaredEquality(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		d1, err := classgen.Generate(classgen.Config{NumTuples: 1200, Function: classgen.F1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := classgen.Generate(classgen.Config{NumTuples: 900, Function: classgen.F2, Seed: seed + 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := dtree.Build(d1, dtree.Config{MaxDepth: 5, MinLeaf: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const c = 0.5
+		viaFocus, err := ChiSquared(tree, d1, d2, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Direct computation over cells = leaf x class:
+		// E = sigma(rho, D1)*|D2|, O = sigma(rho, D2)*|D2|,
+		// X2 = sum (O-E)^2/E with c substituted when E = 0.
+		k := tree.NumClasses()
+		n1, n2 := float64(d1.Len()), float64(d2.Len())
+		count1 := make([]float64, tree.NumLeaves()*k)
+		count2 := make([]float64, tree.NumLeaves()*k)
+		for _, tu := range d1.Tuples {
+			count1[tree.LeafID(tu)*k+tu.Class(d1.Schema)]++
+		}
+		for _, tu := range d2.Tuples {
+			count2[tree.LeafID(tu)*k+tu.Class(d2.Schema)]++
+		}
+		direct := 0.0
+		for i := range count1 {
+			e := count1[i] / n1 * n2
+			o := count2[i] / n2 * n2
+			if e == 0 {
+				direct += c
+				continue
+			}
+			direct += (o - e) * (o - e) / e
+		}
+		if math.Abs(viaFocus-direct) > 1e-6*math.Max(1, direct) {
+			t.Errorf("seed %d: FOCUS X2 %v != direct X2 %v", seed, viaFocus, direct)
+		}
+	}
+}
+
+func TestChiSquaredZeroWhenIdentical(t *testing.T) {
+	d, err := classgen.Generate(classgen.Config{NumTuples: 800, Function: classgen.F1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtree.Build(d, dtree.Config{MaxDepth: 5, MinLeaf: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := ChiSquared(tree, d, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical data: every non-empty cell contributes 0; empty cells with
+	// zero expectation contribute the constant c each. With c=0 it is 0.
+	x2zero, err := ChiSquared(tree, d, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2zero != 0 {
+		t.Errorf("X2(c=0) of identical data = %v, want 0", x2zero)
+	}
+	if x2 < 0 {
+		t.Errorf("X2 = %v < 0", x2)
+	}
+}
+
+func TestChiSquaredBootstrapTestDetectsChange(t *testing.T) {
+	d1, err := classgen.Generate(classgen.Config{NumTuples: 2000, Function: classgen.F1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New data from a different process.
+	d2, err := classgen.Generate(classgen.Config{NumTuples: 800, Function: classgen.F3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtree.Build(d1, dtree.Config{MaxDepth: 6, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChiSquaredBootstrapTest(tree, dtree.Config{MaxDepth: 6, MinLeaf: 30}, d1, d2, 0.5, 49, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pooled null is somewhat conservative under strong alternatives
+	// (resample trees grow extra cells to fit the mixture), so accept a
+	// slightly wider rejection band than the textbook 0.05.
+	if res.PValue > 0.1 {
+		t.Errorf("p-value for changed distribution = %v, want <= 0.1", res.PValue)
+	}
+	if res.DFApprox != tree.NumLeaves()*tree.NumClasses()-1 {
+		t.Errorf("DFApprox = %d", res.DFApprox)
+	}
+	if len(res.Null) != 49 {
+		t.Errorf("null size = %d", len(res.Null))
+	}
+}
+
+func TestChiSquaredBootstrapTestAcceptsSameProcess(t *testing.T) {
+	d1, err := classgen.Generate(classgen.Config{NumTuples: 2000, Function: classgen.F1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New data from the same process (fresh seed, same function).
+	d2, err := classgen.Generate(classgen.Config{NumTuples: 800, Function: classgen.F1, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtree.Build(d1, dtree.Config{MaxDepth: 6, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChiSquaredBootstrapTest(tree, dtree.Config{MaxDepth: 6, MinLeaf: 30}, d1, d2, 0.5, 49, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue <= 0.02 {
+		t.Errorf("p-value for same-process data = %v, suspiciously small", res.PValue)
+	}
+}
+
+// ME through FOCUS must react to distribution change the same way direct ME
+// does: same-function test data scores lower than different-function data.
+func TestMisclassificationOrdering(t *testing.T) {
+	train, _ := classgen.Generate(classgen.Config{NumTuples: 3000, Function: classgen.F2, Seed: 20})
+	same, _ := classgen.Generate(classgen.Config{NumTuples: 1000, Function: classgen.F2, Seed: 21})
+	diff, _ := classgen.Generate(classgen.Config{NumTuples: 1000, Function: classgen.F4, Seed: 22})
+	tree, err := dtree.Build(train, dtree.Config{MaxDepth: 8, MinLeaf: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meSame, err := MisclassificationViaFOCUS(tree, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meDiff, err := MisclassificationViaFOCUS(tree, diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meSame >= meDiff {
+		t.Errorf("ME(same process) %v >= ME(different process) %v", meSame, meDiff)
+	}
+}
+
+// Deterministic bootstrap: equal seeds give equal results.
+func TestChiSquaredBootstrapDeterministic(t *testing.T) {
+	d1, _ := classgen.Generate(classgen.Config{NumTuples: 600, Function: classgen.F1, Seed: 30})
+	d2, _ := classgen.Generate(classgen.Config{NumTuples: 300, Function: classgen.F2, Seed: 31})
+	tree, err := dtree.Build(d1, dtree.Config{MaxDepth: 4, MinLeaf: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ChiSquaredBootstrapTest(tree, dtree.Config{MaxDepth: 4, MinLeaf: 25}, d1, d2, 0.5, 19, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChiSquaredBootstrapTest(tree, dtree.Config{MaxDepth: 4, MinLeaf: 25}, d1, d2, 0.5, 19, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PValue != b.PValue || a.X2 != b.X2 {
+		t.Error("bootstrap test not deterministic")
+	}
+
+}

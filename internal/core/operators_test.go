@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"focus/internal/apriori"
+	"focus/internal/dataset"
+	"focus/internal/region"
+	"focus/internal/txn"
+)
+
+func opSchema() *dataset.Schema {
+	return dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Min: 0, Max: 10},
+	)
+}
+
+// halves partitions [0,10] at the given cut.
+func halves(s *dataset.Schema, cut float64) []*region.Box {
+	return []*region.Box{
+		region.Full(s).ConstrainUpper(0, cut),
+		region.Full(s).ConstrainLower(0, cut),
+	}
+}
+
+func TestStructuralUnionIsOverlay(t *testing.T) {
+	s := opSchema()
+	p1 := halves(s, 3)
+	p2 := halves(s, 7)
+	union := StructuralUnion(p1, p2)
+	// Overlay of cuts {3} and {7}: (.,3], (3,7], (7,.) — 3 non-empty cells.
+	if len(union) != 3 {
+		t.Fatalf("overlay has %d regions, want 3", len(union))
+	}
+	// Each original region must be reconstructible: its indicator equals
+	// the union of overlay cells inside it.
+	probe := dataset.FromTuples(s, []dataset.Tuple{{1}, {4}, {8}, {3}, {7}})
+	for _, orig := range append(p1, p2...) {
+		for _, tu := range probe.Tuples {
+			inOrig := orig.Contains(tu)
+			inCells := false
+			for _, c := range union {
+				if c.Contains(tu) {
+					sub := c.Intersect(orig)
+					if sub != nil && sub.Contains(tu) {
+						inCells = true
+					}
+				}
+			}
+			if inOrig != inCells {
+				t.Fatalf("overlay does not refine region %v at %v", orig, tu)
+			}
+		}
+	}
+}
+
+func TestStructuralIntersectionAndDifference(t *testing.T) {
+	s := opSchema()
+	p1 := halves(s, 3)
+	p2 := halves(s, 3)
+	inter := StructuralIntersection(p1, p2)
+	if len(inter) != 2 {
+		t.Errorf("identical partitions intersect to %d regions, want 2", len(inter))
+	}
+	diff := StructuralDifference(p1, p2)
+	if len(diff) != 0 {
+		t.Errorf("identical partitions differ in %d regions, want 0", len(diff))
+	}
+	p3 := halves(s, 7)
+	inter13 := StructuralIntersection(p1, p3)
+	if len(inter13) != 0 {
+		t.Errorf("different partitions share %d regions, want 0", len(inter13))
+	}
+	diff13 := StructuralDifference(p1, p3)
+	if len(diff13) != 3 {
+		t.Errorf("structural difference has %d regions, want 3 (the whole overlay)", len(diff13))
+	}
+}
+
+func TestFilterRegions(t *testing.T) {
+	s := opSchema()
+	p := halves(s, 5)
+	pred := region.Full(s).ConstrainUpper(0, 4)
+	kept := FilterRegions(p, pred)
+	// Only the lower half intersects x <= 4 (upper half (5,10] does not).
+	if len(kept) != 1 {
+		t.Fatalf("FilterRegions kept %d regions, want 1", len(kept))
+	}
+	if kept[0].Contains(dataset.Tuple{4.5}) {
+		t.Error("filtered region not intersected with the predicate")
+	}
+}
+
+func TestRankOrdersByDeviation(t *testing.T) {
+	s := opSchema()
+	// D1 uniform; D2 heavily shifted into (5,10].
+	d1 := dataset.New(s)
+	d2 := dataset.New(s)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		d1.Add(dataset.Tuple{rng.Float64() * 10})
+		d2.Add(dataset.Tuple{5 + rng.Float64()*5})
+	}
+	regions := []*region.Box{
+		region.Full(s).ConstrainUpper(0, 5),                        // big change
+		region.Full(s).ConstrainLower(0, 5),                        // big change
+		region.Full(s).ConstrainLower(0, 4.9).ConstrainUpper(0, 5), // tiny sliver
+	}
+	ranked := Rank(regions, d1, d2, AbsoluteDiff)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d regions", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Deviation > ranked[i-1].Deviation {
+			t.Fatal("rank order not decreasing")
+		}
+	}
+	// The sliver must rank last.
+	if ranked[len(ranked)-1].Box != regions[2] {
+		t.Error("tiny region did not rank last")
+	}
+	top := Top(ranked, 2)
+	if len(top) != 2 || top[0].Deviation < top[1].Deviation {
+		t.Error("Top wrong")
+	}
+	bottom := Bottom(ranked, 1)
+	if len(bottom) != 1 || bottom[0].Box != regions[2] {
+		t.Error("Bottom wrong")
+	}
+	if len(Top(ranked, 99)) != 3 {
+		t.Error("Top with n > len should clamp")
+	}
+}
+
+func TestItemsetOperators(t *testing.T) {
+	a := []apriori.Itemset{apriori.NewItemset(1), apriori.NewItemset(2), apriori.NewItemset(1, 2)}
+	b := []apriori.Itemset{apriori.NewItemset(2), apriori.NewItemset(3)}
+	union := ItemsetUnion(a, b)
+	if len(union) != 4 {
+		t.Errorf("union size %d, want 4", len(union))
+	}
+	inter := ItemsetIntersection(a, b)
+	if len(inter) != 1 || !inter[0].Equal(apriori.NewItemset(2)) {
+		t.Errorf("intersection = %v", inter)
+	}
+	diff := ItemsetDifference(a, b)
+	if len(diff) != 3 {
+		t.Errorf("difference size %d, want 3", len(diff))
+	}
+	for _, s := range diff {
+		if s.Equal(apriori.NewItemset(2)) {
+			t.Error("shared itemset in difference")
+		}
+	}
+}
+
+func TestWithinItemsAndFilterItemsets(t *testing.T) {
+	keep := WithinItems([]txn.Item{1, 2, 3})
+	if !keep(apriori.NewItemset(1, 3)) {
+		t.Error("in-family itemset rejected")
+	}
+	if keep(apriori.NewItemset(1, 4)) {
+		t.Error("out-of-family itemset accepted")
+	}
+	sets := []apriori.Itemset{apriori.NewItemset(1), apriori.NewItemset(4), apriori.NewItemset(2, 3)}
+	kept := FilterItemsets(sets, keep)
+	if len(kept) != 2 {
+		t.Errorf("FilterItemsets kept %d, want 2", len(kept))
+	}
+}
+
+func TestRankItemsets(t *testing.T) {
+	// d1: item 0 in every txn; d2: item 0 in none, item 1 everywhere.
+	d1 := txn.New(3)
+	d2 := txn.New(3)
+	for i := 0; i < 50; i++ {
+		d1.Add(txn.Transaction{0, 2})
+		d2.Add(txn.Transaction{1, 2})
+	}
+	sets := []apriori.Itemset{apriori.NewItemset(0), apriori.NewItemset(1), apriori.NewItemset(2)}
+	ranked := RankItemsets(sets, d1, d2, AbsoluteDiff)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d itemsets", len(ranked))
+	}
+	// Item 2 is unchanged and must be last with deviation 0.
+	last := ranked[2]
+	if !last.Itemset.Equal(apriori.NewItemset(2)) || last.Deviation != 0 {
+		t.Errorf("last ranked = %v dev %v", last.Itemset, last.Deviation)
+	}
+	// Items 0 and 1 both flipped 1 <-> 0 support: deviation 1 each.
+	if ranked[0].Deviation != 1 || ranked[1].Deviation != 1 {
+		t.Errorf("top deviations = %v, %v, want 1,1", ranked[0].Deviation, ranked[1].Deviation)
+	}
+	if ranked[0].Sup1 != 1 && ranked[0].Sup2 != 1 {
+		t.Error("supports not reported")
+	}
+	topN := TopItemsets(ranked, 2)
+	if len(topN) != 2 {
+		t.Error("TopItemsets wrong length")
+	}
+	if len(TopItemsets(ranked, 10)) != 3 {
+		t.Error("TopItemsets should clamp")
+	}
+}
+
+// The paper's Section 5.1 expression: the top region over the GCR of two
+// tree partitions must surface the region where the datasets differ most.
+func TestExploratoryTopRegion(t *testing.T) {
+	s := opSchema()
+	p1 := halves(s, 3)
+	p2 := halves(s, 7)
+	d1 := dataset.New(s)
+	d2 := dataset.New(s)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		d1.Add(dataset.Tuple{rng.Float64() * 10})
+		// d2 concentrates in the middle band (3,7].
+		d2.Add(dataset.Tuple{3 + rng.Float64()*4})
+	}
+	overlay := StructuralUnion(p1, p2)
+	top := Top(Rank(overlay, d1, d2, AbsoluteDiff), 1)
+	if len(top) != 1 {
+		t.Fatal("no top region")
+	}
+	// The middle band gained ~60% selectivity: it must be the top region.
+	if !top[0].Box.Contains(dataset.Tuple{5}) || top[0].Box.Contains(dataset.Tuple{1}) || top[0].Box.Contains(dataset.Tuple{9}) {
+		t.Errorf("top region = %v, want the middle band", top[0].Box)
+	}
+}

@@ -1,0 +1,288 @@
+// Package dataset provides the tuple and attribute-space substrate used by
+// every model class in the FOCUS framework.
+//
+// Following Definition 3.1 of the paper, an attribute space A(I) is the cross
+// product of the domains of a set of attributes I = {A1, ..., An}; a dataset
+// is a finite, enumerated set of n-tuples in that space. Tuples are stored as
+// []float64 with categorical values encoded as small non-negative integers
+// indexing into the attribute's value list.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes numeric (ordered, continuous) attributes from
+// categorical (unordered, finite-domain) attributes.
+type Kind int
+
+const (
+	// Numeric attributes take values in the closed interval [Min, Max].
+	Numeric Kind = iota
+	// Categorical attributes take one of a finite list of values, encoded
+	// as the value's index.
+	Categorical
+)
+
+// String returns "numeric" or "categorical".
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes one dimension of the attribute space.
+type Attribute struct {
+	Name string
+	Kind Kind
+
+	// Min and Max bound the domain of a numeric attribute.
+	Min, Max float64
+
+	// Values lists the domain of a categorical attribute; the encoded
+	// tuple value is an index into this slice.
+	Values []string
+}
+
+// Cardinality returns the number of distinct values of a categorical
+// attribute, and 0 for numeric attributes.
+func (a *Attribute) Cardinality() int {
+	if a.Kind == Categorical {
+		return len(a.Values)
+	}
+	return 0
+}
+
+// Contains reports whether the encoded value v lies in the attribute's
+// domain.
+func (a *Attribute) Contains(v float64) bool {
+	switch a.Kind {
+	case Numeric:
+		return v >= a.Min && v <= a.Max
+	case Categorical:
+		iv := int(v)
+		return float64(iv) == v && iv >= 0 && iv < len(a.Values)
+	default:
+		return false
+	}
+}
+
+// Schema fixes the set of attributes I and optionally designates one of them
+// as the class label (for classification datasets). Class is -1 when the
+// dataset has no class attribute.
+type Schema struct {
+	Attrs []Attribute
+	Class int
+}
+
+// NewSchema builds a schema over attrs with no class attribute.
+func NewSchema(attrs ...Attribute) *Schema {
+	return &Schema{Attrs: attrs, Class: -1}
+}
+
+// NewClassSchema builds a schema over attrs whose attribute at index class is
+// the class label. It panics if class is out of range or not categorical.
+func NewClassSchema(class int, attrs ...Attribute) *Schema {
+	if class < 0 || class >= len(attrs) {
+		panic(fmt.Sprintf("dataset: class index %d out of range [0,%d)", class, len(attrs)))
+	}
+	if attrs[class].Kind != Categorical {
+		panic(fmt.Sprintf("dataset: class attribute %q must be categorical", attrs[class].Name))
+	}
+	return &Schema{Attrs: attrs, Class: class}
+}
+
+// NumAttrs returns the number of attributes (including any class attribute).
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// NumClasses returns the cardinality of the class attribute, or 0 if the
+// schema has no class attribute.
+func (s *Schema) NumClasses() int {
+	if s.Class < 0 {
+		return 0
+	}
+	return s.Attrs[s.Class].Cardinality()
+}
+
+// AttrIndex returns the index of the attribute named name, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i := range s.Attrs {
+		if s.Attrs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have identical attribute lists and class
+// designation. Models induced from different schemas are incomparable.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if o == nil || len(s.Attrs) != len(o.Attrs) || s.Class != o.Class {
+		return false
+	}
+	for i := range s.Attrs {
+		a, b := &s.Attrs[i], &o.Attrs[i]
+		if a.Name != b.Name || a.Kind != b.Kind {
+			return false
+		}
+		if a.Kind == Numeric && (a.Min != b.Min || a.Max != b.Max) {
+			return false
+		}
+		if a.Kind == Categorical {
+			if len(a.Values) != len(b.Values) {
+				return false
+			}
+			for j := range a.Values {
+				if a.Values[j] != b.Values[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Tuple is an n-tuple on I (Definition 3.1): one float64 per attribute, with
+// categorical values encoded as indices.
+type Tuple []float64
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Class returns the tuple's class index under schema s. It panics if the
+// schema has no class attribute.
+func (t Tuple) Class(s *Schema) int {
+	if s.Class < 0 {
+		panic("dataset: schema has no class attribute")
+	}
+	return int(t[s.Class])
+}
+
+// WithClass returns a copy of t whose class label is replaced by c — the
+// t|c notation of Section 5.2.1.
+func (t Tuple) WithClass(s *Schema, c int) Tuple {
+	n := t.Clone()
+	n[s.Class] = float64(c)
+	return n
+}
+
+// Dataset is a finite set of tuples over a shared schema.
+type Dataset struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// New creates an empty dataset over schema s.
+func New(s *Schema) *Dataset {
+	return &Dataset{Schema: s}
+}
+
+// FromTuples creates a dataset over schema s holding the given tuples (not
+// copied).
+func FromTuples(s *Schema, tuples []Tuple) *Dataset {
+	return &Dataset{Schema: s, Tuples: tuples}
+}
+
+// Len returns |D|, the number of tuples.
+func (d *Dataset) Len() int { return len(d.Tuples) }
+
+// Add appends tuples to the dataset.
+func (d *Dataset) Add(tuples ...Tuple) {
+	d.Tuples = append(d.Tuples, tuples...)
+}
+
+// Clone returns a deep copy of the dataset (tuples copied, schema shared).
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{Schema: d.Schema, Tuples: make([]Tuple, len(d.Tuples))}
+	for i, t := range d.Tuples {
+		c.Tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// Concat returns a new dataset holding d's tuples followed by o's. Both
+// datasets must share an equal schema. This is the D + Δ construction used
+// throughout Section 7 of the paper.
+func (d *Dataset) Concat(o *Dataset) (*Dataset, error) {
+	if !d.Schema.Equal(o.Schema) {
+		return nil, errors.New("dataset: cannot concat datasets with different schemas")
+	}
+	out := &Dataset{Schema: d.Schema, Tuples: make([]Tuple, 0, len(d.Tuples)+len(o.Tuples))}
+	out.Tuples = append(out.Tuples, d.Tuples...)
+	out.Tuples = append(out.Tuples, o.Tuples...)
+	return out, nil
+}
+
+// Validate checks that every tuple has the schema's arity and that every
+// value lies in its attribute's domain.
+func (d *Dataset) Validate() error {
+	n := d.Schema.NumAttrs()
+	for i, t := range d.Tuples {
+		if len(t) != n {
+			return fmt.Errorf("dataset: tuple %d has arity %d, want %d", i, len(t), n)
+		}
+		for j := range t {
+			if math.IsNaN(t[j]) || math.IsInf(t[j], 0) {
+				return fmt.Errorf("dataset: tuple %d attribute %q is not finite", i, d.Schema.Attrs[j].Name)
+			}
+			if !d.Schema.Attrs[j].Contains(t[j]) {
+				return fmt.Errorf("dataset: tuple %d attribute %q value %v outside domain", i, d.Schema.Attrs[j].Name, t[j])
+			}
+		}
+	}
+	return nil
+}
+
+// ClassCounts returns the number of tuples per class. It panics if the schema
+// has no class attribute.
+func (d *Dataset) ClassCounts() []int {
+	k := d.Schema.NumClasses()
+	if k == 0 {
+		panic("dataset: schema has no class attribute")
+	}
+	counts := make([]int, k)
+	for _, t := range d.Tuples {
+		counts[t.Class(d.Schema)]++
+	}
+	return counts
+}
+
+// Selectivity returns sigma(pred, D): the fraction of tuples satisfying pred
+// (Definition 3.2). It returns 0 for an empty dataset.
+func (d *Dataset) Selectivity(pred func(Tuple) bool) float64 {
+	if len(d.Tuples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range d.Tuples {
+		if pred(t) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Tuples))
+}
+
+// Count returns the absolute number of tuples satisfying pred.
+func (d *Dataset) Count(pred func(Tuple) bool) int {
+	n := 0
+	for _, t := range d.Tuples {
+		if pred(t) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoAttrSchema() *Schema {
+	return NewSchema(
+		Attribute{Name: "x", Kind: Numeric, Min: 0, Max: 10},
+		Attribute{Name: "y", Kind: Numeric, Min: 0, Max: 10},
+	)
+}
+
+func classSchema() *Schema {
+	return NewClassSchema(2,
+		Attribute{Name: "x", Kind: Numeric, Min: 0, Max: 10},
+		Attribute{Name: "color", Kind: Categorical, Values: []string{"red", "green"}},
+		Attribute{Name: "class", Kind: Categorical, Values: []string{"A", "B"}},
+	)
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Categorical.String() != "categorical" {
+		t.Errorf("Kind strings: %q %q", Numeric, Categorical)
+	}
+	if got := Kind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestAttributeCardinality(t *testing.T) {
+	num := Attribute{Name: "x", Kind: Numeric, Min: 0, Max: 1}
+	cat := Attribute{Name: "c", Kind: Categorical, Values: []string{"a", "b", "c"}}
+	if num.Cardinality() != 0 {
+		t.Errorf("numeric cardinality = %d, want 0", num.Cardinality())
+	}
+	if cat.Cardinality() != 3 {
+		t.Errorf("categorical cardinality = %d, want 3", cat.Cardinality())
+	}
+}
+
+func TestAttributeContains(t *testing.T) {
+	num := Attribute{Name: "x", Kind: Numeric, Min: 0, Max: 10}
+	cat := Attribute{Name: "c", Kind: Categorical, Values: []string{"a", "b"}}
+	cases := []struct {
+		attr *Attribute
+		v    float64
+		want bool
+	}{
+		{&num, 0, true},
+		{&num, 10, true},
+		{&num, 5.5, true},
+		{&num, -0.001, false},
+		{&num, 10.001, false},
+		{&cat, 0, true},
+		{&cat, 1, true},
+		{&cat, 2, false},
+		{&cat, -1, false},
+		{&cat, 0.5, false}, // non-integer encodings are invalid
+	}
+	for _, c := range cases {
+		if got := c.attr.Contains(c.v); got != c.want {
+			t.Errorf("%s.Contains(%v) = %v, want %v", c.attr.Name, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNewClassSchemaPanics(t *testing.T) {
+	mustPanic(t, "out of range class", func() {
+		NewClassSchema(5, Attribute{Name: "x", Kind: Numeric})
+	})
+	mustPanic(t, "numeric class", func() {
+		NewClassSchema(0, Attribute{Name: "x", Kind: Numeric})
+	})
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSchemaNumClasses(t *testing.T) {
+	if got := twoAttrSchema().NumClasses(); got != 0 {
+		t.Errorf("NumClasses without class attr = %d, want 0", got)
+	}
+	if got := classSchema().NumClasses(); got != 2 {
+		t.Errorf("NumClasses = %d, want 2", got)
+	}
+}
+
+func TestSchemaAttrIndex(t *testing.T) {
+	s := classSchema()
+	if got := s.AttrIndex("color"); got != 1 {
+		t.Errorf("AttrIndex(color) = %d, want 1", got)
+	}
+	if got := s.AttrIndex("missing"); got != -1 {
+		t.Errorf("AttrIndex(missing) = %d, want -1", got)
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, b := classSchema(), classSchema()
+	if !a.Equal(b) {
+		t.Error("identical schemas reported unequal")
+	}
+	if !a.Equal(a) {
+		t.Error("schema not equal to itself")
+	}
+	c := classSchema()
+	c.Attrs[0].Max = 99
+	if a.Equal(c) {
+		t.Error("schemas with different numeric domains reported equal")
+	}
+	d := classSchema()
+	d.Attrs[1].Values = []string{"red", "blue"}
+	if a.Equal(d) {
+		t.Error("schemas with different categorical domains reported equal")
+	}
+	if a.Equal(nil) {
+		t.Error("schema equal to nil")
+	}
+	e := twoAttrSchema()
+	if a.Equal(e) {
+		t.Error("schemas with different attribute lists reported equal")
+	}
+}
+
+func TestTupleCloneIndependent(t *testing.T) {
+	orig := Tuple{1, 2, 3}
+	c := orig.Clone()
+	c[0] = 99
+	if orig[0] != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestTupleClassAndWithClass(t *testing.T) {
+	s := classSchema()
+	tu := Tuple{1.5, 0, 1}
+	if got := tu.Class(s); got != 1 {
+		t.Errorf("Class = %d, want 1", got)
+	}
+	replaced := tu.WithClass(s, 0)
+	if replaced.Class(s) != 0 {
+		t.Errorf("WithClass did not replace the label")
+	}
+	if tu.Class(s) != 1 {
+		t.Error("WithClass mutated the original tuple")
+	}
+	mustPanic(t, "Class without class attr", func() {
+		Tuple{1, 2}.Class(twoAttrSchema())
+	})
+}
+
+func TestDatasetAddLenClone(t *testing.T) {
+	d := New(twoAttrSchema())
+	d.Add(Tuple{1, 2}, Tuple{3, 4})
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	c := d.Clone()
+	c.Tuples[0][0] = 77
+	if d.Tuples[0][0] != 1 {
+		t.Error("Clone shares tuple storage")
+	}
+}
+
+func TestDatasetConcat(t *testing.T) {
+	s := twoAttrSchema()
+	d1 := FromTuples(s, []Tuple{{1, 1}})
+	d2 := FromTuples(s, []Tuple{{2, 2}, {3, 3}})
+	out, err := d1.Concat(d2)
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("Concat length = %d, want 3", out.Len())
+	}
+	// Mismatched schema must fail.
+	other := FromTuples(classSchema(), []Tuple{{1, 0, 0}})
+	if _, err := d1.Concat(other); err == nil {
+		t.Error("Concat with different schema succeeded")
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	s := classSchema()
+	good := FromTuples(s, []Tuple{{5, 1, 0}})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		tuple Tuple
+	}{
+		{"wrong arity", Tuple{1, 2}},
+		{"numeric out of domain", Tuple{11, 0, 0}},
+		{"categorical out of domain", Tuple{5, 2, 0}},
+		{"NaN", Tuple{math.NaN(), 0, 0}},
+		{"Inf", Tuple{math.Inf(1), 0, 0}},
+	}
+	for _, c := range cases {
+		d := FromTuples(s, []Tuple{c.tuple})
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid tuple", c.name)
+		}
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	s := classSchema()
+	d := FromTuples(s, []Tuple{{1, 0, 0}, {2, 0, 1}, {3, 1, 1}})
+	counts := d.ClassCounts()
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Errorf("ClassCounts = %v, want [1 2]", counts)
+	}
+	mustPanic(t, "ClassCounts without class attr", func() {
+		New(twoAttrSchema()).ClassCounts()
+	})
+}
+
+func TestSelectivityAndCount(t *testing.T) {
+	s := twoAttrSchema()
+	d := FromTuples(s, []Tuple{{1, 0}, {2, 0}, {3, 0}, {4, 0}})
+	pred := func(tu Tuple) bool { return tu[0] <= 2 }
+	if got := d.Selectivity(pred); got != 0.5 {
+		t.Errorf("Selectivity = %v, want 0.5", got)
+	}
+	if got := d.Count(pred); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := New(s).Selectivity(pred); got != 0 {
+		t.Errorf("Selectivity of empty dataset = %v, want 0", got)
+	}
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as CSV: a header row of attribute names
+// followed by one row per tuple. Categorical values are written by name,
+// numeric values with full float64 precision.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	header := make([]string, len(d.Schema.Attrs))
+	for i := range d.Schema.Attrs {
+		header[i] = d.Schema.Attrs[i].Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range d.Tuples {
+		for j, v := range t {
+			a := &d.Schema.Attrs[j]
+			if a.Kind == Categorical {
+				iv := int(v)
+				if iv < 0 || iv >= len(a.Values) {
+					return fmt.Errorf("dataset: categorical value %v outside domain of %q", v, a.Name)
+				}
+				row[j] = a.Values[iv]
+			} else {
+				row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a dataset in the format produced by WriteCSV. The schema must
+// be supplied; the header row is checked against it.
+func ReadCSV(r io.Reader, s *Schema) (*Dataset, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != len(s.Attrs) {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), len(s.Attrs))
+	}
+	for i, name := range header {
+		if name != s.Attrs[i].Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, s.Attrs[i].Name)
+		}
+	}
+	// Build per-attribute decode tables for categorical values.
+	decode := make([]map[string]float64, len(s.Attrs))
+	for i := range s.Attrs {
+		if s.Attrs[i].Kind == Categorical {
+			m := make(map[string]float64, len(s.Attrs[i].Values))
+			for j, v := range s.Attrs[i].Values {
+				m[v] = float64(j)
+			}
+			decode[i] = m
+		}
+	}
+	d := New(s)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		t := make(Tuple, len(rec))
+		for j, field := range rec {
+			if m := decode[j]; m != nil {
+				v, ok := m[field]
+				if !ok {
+					return nil, fmt.Errorf("dataset: line %d: unknown value %q for attribute %q", line, field, s.Attrs[j].Name)
+				}
+				t[j] = v
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d attribute %q: %w", line, s.Attrs[j].Name, err)
+			}
+			t[j] = v
+		}
+		d.Tuples = append(d.Tuples, t)
+	}
+	return d, nil
+}

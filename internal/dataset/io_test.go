@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := classSchema()
+	d := FromTuples(s, []Tuple{
+		{1.5, 0, 0},
+		{9.25, 1, 1},
+		{0, 0, 1},
+	})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf, s)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), d.Len())
+	}
+	for i := range d.Tuples {
+		for j := range d.Tuples[i] {
+			if back.Tuples[i][j] != d.Tuples[i][j] {
+				t.Errorf("tuple %d attr %d = %v, want %v", i, j, back.Tuples[i][j], d.Tuples[i][j])
+			}
+		}
+	}
+}
+
+func TestCSVWritesCategoricalNames(t *testing.T) {
+	s := classSchema()
+	d := FromTuples(s, []Tuple{{1, 1, 0}})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "green") || !strings.Contains(out, "A") {
+		t.Errorf("CSV does not use categorical value names:\n%s", out)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := classSchema()
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty input", ""},
+		{"wrong column count", "x,color\n1,red\n"},
+		{"wrong column name", "x,colour,class\n1,red,A\n"},
+		{"unknown categorical value", "x,color,class\n1,purple,A\n"},
+		{"non-numeric value", "x,color,class\noops,red,A\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.input), s); err == nil {
+			t.Errorf("%s: ReadCSV succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestWriteCSVRejectsBadCategorical(t *testing.T) {
+	s := classSchema()
+	d := FromTuples(s, []Tuple{{1, 7, 0}}) // color index 7 out of domain
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err == nil {
+		t.Error("WriteCSV accepted an out-of-domain categorical value")
+	}
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample returns a simple random sample of n tuples drawn without
+// replacement. The returned dataset shares tuple storage with d. It panics if
+// n is negative or exceeds d.Len().
+//
+// Sampling without replacement matches the WOR sampling used for the
+// sample-deviation study of Section 6.
+func (d *Dataset) Sample(n int, rng *rand.Rand) *Dataset {
+	if n < 0 || n > len(d.Tuples) {
+		panic(fmt.Sprintf("dataset: sample size %d out of range [0,%d]", n, len(d.Tuples)))
+	}
+	// Partial Fisher-Yates over a copy of the index space: O(len) space but
+	// only n swaps, and d itself is left untouched.
+	idx := make([]int, len(d.Tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := &Dataset{Schema: d.Schema, Tuples: make([]Tuple, n)}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out.Tuples[i] = d.Tuples[idx[i]]
+	}
+	return out
+}
+
+// SampleFraction returns a without-replacement sample containing
+// round(frac*|D|) tuples; frac must lie in [0,1].
+func (d *Dataset) SampleFraction(frac float64, rng *rand.Rand) *Dataset {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("dataset: sample fraction %v out of range [0,1]", frac))
+	}
+	n := int(frac*float64(len(d.Tuples)) + 0.5)
+	if n > len(d.Tuples) {
+		n = len(d.Tuples)
+	}
+	return d.Sample(n, rng)
+}
+
+// Resample returns a bootstrap resample of n tuples drawn with replacement,
+// as used by the qualification procedure of Section 3.4.
+func (d *Dataset) Resample(n int, rng *rand.Rand) *Dataset {
+	if len(d.Tuples) == 0 {
+		panic("dataset: cannot resample an empty dataset")
+	}
+	out := &Dataset{Schema: d.Schema, Tuples: make([]Tuple, n)}
+	for i := 0; i < n; i++ {
+		out.Tuples[i] = d.Tuples[rng.Intn(len(d.Tuples))]
+	}
+	return out
+}
+
+// Shuffle permutes the dataset's tuples in place.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(d.Tuples), func(i, j int) {
+		d.Tuples[i], d.Tuples[j] = d.Tuples[j], d.Tuples[i]
+	})
+}
+
+// Split partitions the dataset into a prefix of n tuples and the remainder,
+// sharing storage with d.
+func (d *Dataset) Split(n int) (head, tail *Dataset) {
+	if n < 0 || n > len(d.Tuples) {
+		panic(fmt.Sprintf("dataset: split point %d out of range [0,%d]", n, len(d.Tuples)))
+	}
+	return &Dataset{Schema: d.Schema, Tuples: d.Tuples[:n]},
+		&Dataset{Schema: d.Schema, Tuples: d.Tuples[n:]}
+}

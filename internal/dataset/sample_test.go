@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqDataset(n int) *Dataset {
+	s := twoAttrSchema()
+	d := New(s)
+	for i := 0; i < n; i++ {
+		d.Add(Tuple{float64(i % 11), float64((i * 7) % 11)})
+	}
+	return d
+}
+
+func TestSampleSizeAndMembership(t *testing.T) {
+	d := seqDataset(100)
+	rng := rand.New(rand.NewSource(1))
+	s := d.Sample(30, rng)
+	if s.Len() != 30 {
+		t.Fatalf("sample size = %d, want 30", s.Len())
+	}
+	for _, tu := range s.Tuples {
+		if tu[0] < 0 || tu[0] > 10 {
+			t.Fatalf("sampled tuple %v not from the dataset domain", tu)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	// Give every tuple a unique first coordinate; a WOR sample must contain
+	// no duplicates.
+	s := NewSchema(Attribute{Name: "id", Kind: Numeric, Min: 0, Max: 1000})
+	d := New(s)
+	for i := 0; i < 200; i++ {
+		d.Add(Tuple{float64(i)})
+	}
+	rng := rand.New(rand.NewSource(7))
+	sm := d.Sample(200, rng)
+	seen := make(map[float64]bool)
+	for _, tu := range sm.Tuples {
+		if seen[tu[0]] {
+			t.Fatalf("duplicate tuple %v in WOR sample", tu)
+		}
+		seen[tu[0]] = true
+	}
+	if len(seen) != 200 {
+		t.Fatalf("full-size WOR sample has %d distinct tuples, want 200", len(seen))
+	}
+}
+
+func TestSampleLeavesOriginalIntact(t *testing.T) {
+	d := seqDataset(50)
+	before := make([]float64, d.Len())
+	for i, tu := range d.Tuples {
+		before[i] = tu[0]
+	}
+	d.Sample(25, rand.New(rand.NewSource(3)))
+	for i, tu := range d.Tuples {
+		if tu[0] != before[i] {
+			t.Fatal("Sample reordered the original dataset")
+		}
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	d := seqDataset(10)
+	rng := rand.New(rand.NewSource(1))
+	mustPanic(t, "negative sample", func() { d.Sample(-1, rng) })
+	mustPanic(t, "oversized sample", func() { d.Sample(11, rng) })
+	if got := d.Sample(0, rng).Len(); got != 0 {
+		t.Errorf("empty sample has %d tuples", got)
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	d := seqDataset(100)
+	rng := rand.New(rand.NewSource(2))
+	if got := d.SampleFraction(0.3, rng).Len(); got != 30 {
+		t.Errorf("30%% sample size = %d, want 30", got)
+	}
+	if got := d.SampleFraction(1, rng).Len(); got != 100 {
+		t.Errorf("100%% sample size = %d, want 100", got)
+	}
+	mustPanic(t, "fraction > 1", func() { d.SampleFraction(1.5, rng) })
+	mustPanic(t, "fraction < 0", func() { d.SampleFraction(-0.1, rng) })
+}
+
+func TestResample(t *testing.T) {
+	d := seqDataset(10)
+	rng := rand.New(rand.NewSource(4))
+	r := d.Resample(100, rng)
+	if r.Len() != 100 {
+		t.Fatalf("resample size = %d, want 100", r.Len())
+	}
+	mustPanic(t, "resample empty", func() {
+		New(twoAttrSchema()).Resample(5, rng)
+	})
+}
+
+func TestResampleDrawsWithReplacement(t *testing.T) {
+	// Resampling more tuples than the dataset holds must repeat some.
+	d := seqDataset(5)
+	r := d.Resample(50, rand.New(rand.NewSource(5)))
+	if r.Len() != 50 {
+		t.Fatalf("resample size = %d", r.Len())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := seqDataset(10)
+	head, tail := d.Split(4)
+	if head.Len() != 4 || tail.Len() != 6 {
+		t.Errorf("Split sizes = %d,%d want 4,6", head.Len(), tail.Len())
+	}
+	mustPanic(t, "split out of range", func() { d.Split(11) })
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	d1 := seqDataset(50)
+	d2 := seqDataset(50)
+	d1.Shuffle(rand.New(rand.NewSource(9)))
+	d2.Shuffle(rand.New(rand.NewSource(9)))
+	for i := range d1.Tuples {
+		if d1.Tuples[i][0] != d2.Tuples[i][0] {
+			t.Fatal("Shuffle with equal seeds diverged")
+		}
+	}
+}
+
+// Property: every tuple of a WOR sample appears in the source dataset, for
+// arbitrary sizes.
+func TestSampleSubsetProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		d := seqDataset(n)
+		src := make(map[float64]int)
+		for _, tu := range d.Tuples {
+			src[tu[0]*100+tu[1]]++
+		}
+		s := d.Sample(k, rand.New(rand.NewSource(seed)))
+		got := make(map[float64]int)
+		for _, tu := range s.Tuples {
+			got[tu[0]*100+tu[1]]++
+		}
+		for key, c := range got {
+			if c > src[key] {
+				return false // drew a tuple more often than it exists
+			}
+		}
+		return s.Len() == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

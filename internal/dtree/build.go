@@ -1,0 +1,295 @@
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"focus/internal/dataset"
+)
+
+// Config controls tree growth. The zero value is usable: it applies the
+// defaults documented on each field.
+type Config struct {
+	// MaxDepth bounds the tree depth (root at depth 0). Default 12.
+	MaxDepth int
+	// MinLeaf is the minimum number of training tuples in a leaf. Splits
+	// producing a smaller child are not considered. Default 25.
+	MinLeaf int
+	// MinGain is the minimum gini gain required to split. Default 1e-6.
+	MinGain float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 25
+	}
+	if c.MinGain == 0 {
+		c.MinGain = 1e-6
+	}
+	return c
+}
+
+// Build grows a CART-style tree over d with gini-impurity splits. Numeric
+// attributes use the best midpoint threshold found by a sorted sweep;
+// categorical attributes use the best value-subset split found by ordering
+// values by first-class proportion (optimal for two classes, a standard
+// heuristic otherwise). The class attribute is never split on.
+func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
+	if d.Schema.Class < 0 {
+		return nil, errors.New("dtree: schema has no class attribute")
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("dtree: cannot build a tree from an empty dataset")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MinLeaf < 1 {
+		return nil, fmt.Errorf("dtree: MinLeaf %d < 1", cfg.MinLeaf)
+	}
+	b := &builder{
+		data: d,
+		cfg:  cfg,
+		k:    d.Schema.NumClasses(),
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{Schema: d.Schema}
+	t.Root = b.grow(idx, 0)
+	// Assign dense leaf ids in DFS order.
+	t.leaves = nil
+	var number func(n *Node)
+	number = func(n *Node) {
+		if n.IsLeaf() {
+			n.LeafID = len(t.leaves)
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		n.LeafID = -1
+		number(n.Left)
+		number(n.Right)
+	}
+	number(t.Root)
+	t.numLeaves = len(t.leaves)
+	return t, nil
+}
+
+type builder struct {
+	data *dataset.Dataset
+	cfg  Config
+	k    int // number of classes
+}
+
+func (b *builder) classCounts(idx []int) []int {
+	counts := make([]int, b.k)
+	for _, i := range idx {
+		counts[b.data.Tuples[i].Class(b.data.Schema)]++
+	}
+	return counts
+}
+
+// gini returns the gini impurity 1 - sum(p_c^2) of a class histogram.
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		s += p * p
+	}
+	return 1 - s
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// split describes the best split found for a node.
+type split struct {
+	attr       int
+	threshold  float64
+	leftValues []bool
+	gain       float64
+	valid      bool
+}
+
+func (b *builder) grow(idx []int, depth int) *Node {
+	counts := b.classCounts(idx)
+	leaf := &Node{ClassCounts: counts}
+	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf || pure(counts) {
+		return leaf
+	}
+	best := b.bestSplit(idx, counts)
+	if !best.valid || best.gain < b.cfg.MinGain {
+		return leaf
+	}
+	left, right := b.partition(idx, best)
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return leaf
+	}
+	n := &Node{
+		Attr:       best.attr,
+		Threshold:  best.threshold,
+		LeftValues: best.leftValues,
+	}
+	n.Left = b.grow(left, depth+1)
+	n.Right = b.grow(right, depth+1)
+	return n
+}
+
+func (b *builder) bestSplit(idx []int, counts []int) split {
+	parent := gini(counts, len(idx))
+	best := split{}
+	for attr := range b.data.Schema.Attrs {
+		if attr == b.data.Schema.Class {
+			continue
+		}
+		var s split
+		if b.data.Schema.Attrs[attr].Kind == dataset.Numeric {
+			s = b.bestNumericSplit(idx, attr, parent)
+		} else {
+			s = b.bestCategoricalSplit(idx, attr, parent, counts)
+		}
+		if s.valid && (!best.valid || s.gain > best.gain) {
+			best = s
+		}
+	}
+	return best
+}
+
+// bestNumericSplit sweeps the sorted values of attr, evaluating the gini
+// gain at every midpoint between distinct consecutive values, honouring
+// MinLeaf on both sides.
+func (b *builder) bestNumericSplit(idx []int, attr int, parent float64) split {
+	type vc struct {
+		v float64
+		c int
+	}
+	vals := make([]vc, len(idx))
+	for i, j := range idx {
+		t := b.data.Tuples[j]
+		vals[i] = vc{t[attr], t.Class(b.data.Schema)}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+	leftCounts := make([]int, b.k)
+	rightCounts := b.classCounts(idx)
+	n := len(vals)
+	best := split{attr: attr}
+	for i := 0; i < n-1; i++ {
+		leftCounts[vals[i].c]++
+		rightCounts[vals[i].c]--
+		if vals[i].v == vals[i+1].v {
+			continue // not a valid cut point
+		}
+		nl := i + 1
+		nr := n - nl
+		if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+			continue
+		}
+		w := parent - (float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(n)
+		if !best.valid || w > best.gain {
+			best.valid = true
+			best.gain = w
+			best.threshold = vals[i].v + (vals[i+1].v-vals[i].v)/2
+		}
+	}
+	return best
+}
+
+// bestCategoricalSplit builds the attribute's AVC-set (value x class counts,
+// as in RainForest), orders values by first-class proportion, and evaluates
+// every prefix as the left value set — the Breiman ordering that is optimal
+// for binary classes.
+func (b *builder) bestCategoricalSplit(idx []int, attr int, parent float64, counts []int) split {
+	card := b.data.Schema.Attrs[attr].Cardinality()
+	avc := make([][]int, card) // value -> class histogram
+	totals := make([]int, card)
+	for _, j := range idx {
+		t := b.data.Tuples[j]
+		v := int(t[attr])
+		if avc[v] == nil {
+			avc[v] = make([]int, b.k)
+		}
+		avc[v][t.Class(b.data.Schema)]++
+		totals[v]++
+	}
+	// Collect present values and order by proportion of class 0.
+	var present []int
+	for v := 0; v < card; v++ {
+		if totals[v] > 0 {
+			present = append(present, v)
+		}
+	}
+	if len(present) < 2 {
+		return split{}
+	}
+	sort.Slice(present, func(a, c int) bool {
+		pa := float64(avc[present[a]][0]) / float64(totals[present[a]])
+		pc := float64(avc[present[c]][0]) / float64(totals[present[c]])
+		if pa != pc {
+			return pa < pc
+		}
+		return present[a] < present[c]
+	})
+
+	n := len(idx)
+	leftCounts := make([]int, b.k)
+	rightCounts := append([]int(nil), counts...)
+	nl := 0
+	best := split{attr: attr}
+	for i := 0; i < len(present)-1; i++ {
+		v := present[i]
+		for c, cc := range avc[v] {
+			leftCounts[c] += cc
+			rightCounts[c] -= cc
+		}
+		nl += totals[v]
+		nr := n - nl
+		if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+			continue
+		}
+		w := parent - (float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(n)
+		if !best.valid || w > best.gain {
+			best.valid = true
+			best.gain = w
+			lv := make([]bool, card)
+			for _, pv := range present[:i+1] {
+				lv[pv] = true
+			}
+			best.leftValues = lv
+		}
+	}
+	return best
+}
+
+func (b *builder) partition(idx []int, s split) (left, right []int) {
+	numeric := b.data.Schema.Attrs[s.attr].Kind == dataset.Numeric
+	for _, j := range idx {
+		t := b.data.Tuples[j]
+		goLeft := false
+		if numeric {
+			goLeft = t[s.attr] <= s.threshold
+		} else {
+			v := int(t[s.attr])
+			goLeft = v >= 0 && v < len(s.leftValues) && s.leftValues[v]
+		}
+		if goLeft {
+			left = append(left, j)
+		} else {
+			right = append(right, j)
+		}
+	}
+	return left, right
+}

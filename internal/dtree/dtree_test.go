@@ -1,0 +1,308 @@
+package dtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"focus/internal/classgen"
+	"focus/internal/dataset"
+)
+
+func xorSchema() *dataset.Schema {
+	return dataset.NewClassSchema(2,
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Min: 0, Max: 1},
+		dataset.Attribute{Name: "y", Kind: dataset.Numeric, Min: 0, Max: 1},
+		dataset.Attribute{Name: "class", Kind: dataset.Categorical, Values: []string{"0", "1"}},
+	)
+}
+
+// xorDataset labels quadrants in an XOR pattern: class 1 iff exactly one of
+// x,y exceeds 0.5 — requires depth 2 to learn.
+func xorDataset(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(xorSchema())
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		cls := 0.0
+		if (x > 0.5) != (y > 0.5) {
+			cls = 1
+		}
+		d.Add(dataset.Tuple{x, y, cls})
+	}
+	return d
+}
+
+func TestBuildLearnsXOR(t *testing.T) {
+	d := xorDataset(2000, 1)
+	tree, err := Build(d, Config{MaxDepth: 4, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me := tree.MisclassificationError(d); me > 0.02 {
+		t.Errorf("training ME on XOR = %v, want near 0", me)
+	}
+	// Held-out data from the same process.
+	test := xorDataset(1000, 2)
+	if me := tree.MisclassificationError(test); me > 0.05 {
+		t.Errorf("test ME on XOR = %v, want small", me)
+	}
+}
+
+func TestBuildLearnsClassgenFunctions(t *testing.T) {
+	for _, fn := range []classgen.Function{classgen.F1, classgen.F2} {
+		d, err := classgen.Generate(classgen.Config{NumTuples: 4000, Function: fn, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := Build(d, Config{MaxDepth: 10, MinLeaf: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if me := tree.MisclassificationError(d); me > 0.08 {
+			t.Errorf("%v: training ME = %v, want < 0.08", fn, me)
+		}
+	}
+}
+
+func TestLeavesPartitionSpace(t *testing.T) {
+	d, err := classgen.Generate(classgen.Config{NumTuples: 3000, Function: classgen.F3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(d, Config{MaxDepth: 8, MinLeaf: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != tree.NumLeaves() {
+		t.Fatalf("Leaves() returned %d, NumLeaves = %d", len(leaves), tree.NumLeaves())
+	}
+	// Every tuple must fall in exactly one leaf box, and that box's ID must
+	// agree with routing.
+	rng := rand.New(rand.NewSource(7))
+	probe := d.Sample(300, rng)
+	for _, tu := range probe.Tuples {
+		hits := 0
+		hitID := -1
+		for _, lf := range leaves {
+			if lf.Box.Contains(tu) {
+				hits++
+				hitID = lf.ID
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("tuple %v contained in %d leaf boxes, want 1", tu, hits)
+		}
+		if got := tree.LeafID(tu); got != hitID {
+			t.Fatalf("routing gives leaf %d, geometry gives %d", got, hitID)
+		}
+	}
+}
+
+func TestLeafClassCountsSumToDataset(t *testing.T) {
+	d := xorDataset(1000, 9)
+	tree, err := Build(d, Config{MaxDepth: 4, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, lf := range tree.Leaves() {
+		for _, c := range lf.Counts {
+			total += c
+		}
+	}
+	if total != d.Len() {
+		t.Errorf("leaf counts sum to %d, want %d", total, d.Len())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	d := xorDataset(1000, 11)
+	const minLeaf = 100
+	tree, err := Build(d, Config{MaxDepth: 10, MinLeaf: minLeaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lf := range tree.Leaves() {
+		n := 0
+		for _, c := range lf.Counts {
+			n += c
+		}
+		if n < minLeaf {
+			t.Errorf("leaf %d has %d tuples < MinLeaf %d", lf.ID, n, minLeaf)
+		}
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	d := xorDataset(2000, 13)
+	tree, err := Build(d, Config{MaxDepth: 1, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() > 2 {
+		t.Errorf("depth-1 tree has %d leaves", tree.NumLeaves())
+	}
+}
+
+func TestPureDatasetGivesSingleLeaf(t *testing.T) {
+	s := xorSchema()
+	d := dataset.New(s)
+	for i := 0; i < 100; i++ {
+		d.Add(dataset.Tuple{float64(i) / 100, 0.5, 0})
+	}
+	tree, err := Build(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 1 {
+		t.Errorf("pure dataset tree has %d leaves, want 1", tree.NumLeaves())
+	}
+	if tree.Predict(dataset.Tuple{0.1, 0.5, 1}) != 0 {
+		t.Error("pure tree predicts wrong class")
+	}
+}
+
+func TestCategoricalSplit(t *testing.T) {
+	s := dataset.NewClassSchema(1,
+		dataset.Attribute{Name: "color", Kind: dataset.Categorical, Values: []string{"r", "g", "b", "y"}},
+		dataset.Attribute{Name: "class", Kind: dataset.Categorical, Values: []string{"0", "1"}},
+	)
+	d := dataset.New(s)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 800; i++ {
+		color := float64(rng.Intn(4))
+		cls := 0.0
+		if color == 1 || color == 3 { // g and y are class 1
+			cls = 1
+		}
+		d.Add(dataset.Tuple{color, cls})
+	}
+	tree, err := Build(d, Config{MaxDepth: 3, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me := tree.MisclassificationError(d); me != 0 {
+		t.Errorf("categorical rule not learned exactly: ME = %v", me)
+	}
+	if got := tree.Predict(dataset.Tuple{3, 0}); got != 1 {
+		t.Errorf("Predict(y) = %d, want 1", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(dataset.New(xorSchema()), Config{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	noClass := dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric, Min: 0, Max: 1})
+	d := dataset.FromTuples(noClass, []dataset.Tuple{{0.5}})
+	if _, err := Build(d, Config{}); err == nil {
+		t.Error("schema without class accepted")
+	}
+	if _, err := Build(xorDataset(10, 1), Config{MinLeaf: -1}); err == nil {
+		t.Error("negative MinLeaf accepted")
+	}
+}
+
+func TestPredictedDataset(t *testing.T) {
+	d := xorDataset(500, 19)
+	tree, err := Build(d, Config{MaxDepth: 4, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := tree.PredictedDataset(d)
+	if pred.Len() != d.Len() {
+		t.Fatalf("predicted dataset size %d", pred.Len())
+	}
+	for i, tu := range pred.Tuples {
+		if int(tu[2]) != tree.Predict(d.Tuples[i]) {
+			t.Fatal("predicted label mismatch")
+		}
+		// Non-class attributes are untouched.
+		if tu[0] != d.Tuples[i][0] || tu[1] != d.Tuples[i][1] {
+			t.Fatal("predicted dataset mutated attributes")
+		}
+	}
+	// ME equals the fraction of label disagreements between d and pred.
+	diff := 0
+	for i := range d.Tuples {
+		if d.Tuples[i][2] != pred.Tuples[i][2] {
+			diff++
+		}
+	}
+	if me := tree.MisclassificationError(d); me != float64(diff)/float64(d.Len()) {
+		t.Errorf("ME = %v, label-diff fraction = %v", me, float64(diff)/float64(d.Len()))
+	}
+}
+
+func TestNewTreeManual(t *testing.T) {
+	s := xorSchema()
+	root := &Node{
+		Attr:      0,
+		Threshold: 0.5,
+		Left:      &Node{ClassCounts: []int{10, 0}},
+		Right:     &Node{ClassCounts: []int{0, 10}},
+	}
+	tree, err := NewTree(s, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 2 {
+		t.Fatalf("NumLeaves = %d", tree.NumLeaves())
+	}
+	if tree.Predict(dataset.Tuple{0.3, 0, 0}) != 0 || tree.Predict(dataset.Tuple{0.7, 0, 0}) != 1 {
+		t.Error("manual tree routes wrong")
+	}
+	if tree.LeafID(dataset.Tuple{0.3, 0, 0}) == tree.LeafID(dataset.Tuple{0.7, 0, 0}) {
+		t.Error("distinct leaves share an id")
+	}
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	s := xorSchema()
+	// Wrong histogram arity.
+	if _, err := NewTree(s, &Node{ClassCounts: []int{1}}); err == nil {
+		t.Error("bad leaf histogram accepted")
+	}
+	// Split on class attribute.
+	bad := &Node{Attr: 2, Threshold: 0.5,
+		Left:  &Node{ClassCounts: []int{1, 1}},
+		Right: &Node{ClassCounts: []int{1, 1}}}
+	if _, err := NewTree(s, bad); err == nil {
+		t.Error("split on class attribute accepted")
+	}
+	// Missing child.
+	half := &Node{Attr: 0, Threshold: 0.5, Right: &Node{ClassCounts: []int{1, 1}}}
+	if _, err := NewTree(s, half); err == nil {
+		t.Error("node with single child accepted")
+	}
+	noClass := dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric})
+	if _, err := NewTree(noClass, &Node{ClassCounts: []int{}}); err == nil {
+		t.Error("schema without class accepted")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	d := xorDataset(500, 23)
+	tree, err := Build(d, Config{MaxDepth: 2, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.String()
+	if !strings.Contains(s, "leaf#") || !strings.Contains(s, "<=") {
+		t.Errorf("String output looks wrong:\n%s", s)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]int{10, 0}, 10); g != 0 {
+		t.Errorf("pure gini = %v", g)
+	}
+	if g := gini([]int{5, 5}, 10); g != 0.5 {
+		t.Errorf("balanced gini = %v, want 0.5", g)
+	}
+	if g := gini(nil, 0); g != 0 {
+		t.Errorf("empty gini = %v", g)
+	}
+}

@@ -1,0 +1,144 @@
+package dtree
+
+import (
+	"errors"
+
+	"focus/internal/dataset"
+)
+
+// PruneReducedError performs reduced-error pruning against a validation set
+// (Quinlan, 1987; the pruning family CART [BFOS84] belongs to): in bottom-up
+// order, an internal node is collapsed into a leaf whenever the collapsed
+// leaf misclassifies no more validation tuples than the subtree does. It
+// returns a new tree sharing no nodes with the original; leaf class
+// histograms keep the original training counts, aggregated over collapsed
+// subtrees. The validation set must be non-empty and share the tree's
+// schema.
+//
+// Pruning gives FOCUS models with coarser structural components: fewer,
+// larger regions, and therefore cheaper GCRs — the accuracy/granularity
+// trade-off a deployment can tune.
+func (t *Tree) PruneReducedError(validation *dataset.Dataset) (*Tree, error) {
+	if validation.Len() == 0 {
+		return nil, errors.New("dtree: reduced-error pruning needs a non-empty validation set")
+	}
+	if !validation.Schema.Equal(t.Schema) {
+		return nil, errors.New("dtree: validation set schema differs from the tree's")
+	}
+	idx := make([]int, validation.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := t.pruneNode(t.Root, validation, idx)
+	return NewTree(t.Schema, root)
+}
+
+// pruneNode returns the pruned copy of n given the validation tuples (by
+// index) that reach it.
+func (t *Tree) pruneNode(n *Node, v *dataset.Dataset, idx []int) *Node {
+	if n.IsLeaf() {
+		return &Node{ClassCounts: append([]int(nil), n.ClassCounts...)}
+	}
+	var left, right []int
+	numeric := t.Schema.Attrs[n.Attr].Kind == dataset.Numeric
+	for _, i := range idx {
+		tu := v.Tuples[i]
+		goLeft := false
+		if numeric {
+			goLeft = tu[n.Attr] <= n.Threshold
+		} else {
+			val := int(tu[n.Attr])
+			goLeft = val >= 0 && val < len(n.LeftValues) && n.LeftValues[val]
+		}
+		if goLeft {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	prunedLeft := t.pruneNode(n.Left, v, left)
+	prunedRight := t.pruneNode(n.Right, v, right)
+	sub := &Node{
+		Attr:       n.Attr,
+		Threshold:  n.Threshold,
+		LeftValues: append([]bool(nil), n.LeftValues...),
+		Left:       prunedLeft,
+		Right:      prunedRight,
+	}
+
+	// Validation errors of the (already pruned) subtree vs a collapsed leaf.
+	collapsed := &Node{ClassCounts: aggregateCounts(n, t.Schema.NumClasses())}
+	subErrors := subtreeErrors(t.Schema, sub, v, idx)
+	leafErrors := leafErrorCount(t.Schema, collapsed, v, idx)
+	if leafErrors <= subErrors {
+		return collapsed
+	}
+	return sub
+}
+
+// aggregateCounts sums the training class histograms of every leaf under n.
+func aggregateCounts(n *Node, k int) []int {
+	counts := make([]int, k)
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.IsLeaf() {
+			for c, v := range m.ClassCounts {
+				counts[c] += v
+			}
+			return
+		}
+		walk(m.Left)
+		walk(m.Right)
+	}
+	walk(n)
+	return counts
+}
+
+// subtreeErrors counts validation misclassifications under an arbitrary
+// (detached) subtree.
+func subtreeErrors(s *dataset.Schema, n *Node, v *dataset.Dataset, idx []int) int {
+	errs := 0
+	for _, i := range idx {
+		tu := v.Tuples[i]
+		cur := n
+		for !cur.IsLeaf() {
+			goLeft := false
+			if s.Attrs[cur.Attr].Kind == dataset.Numeric {
+				goLeft = tu[cur.Attr] <= cur.Threshold
+			} else {
+				val := int(tu[cur.Attr])
+				goLeft = val >= 0 && val < len(cur.LeftValues) && cur.LeftValues[val]
+			}
+			if goLeft {
+				cur = cur.Left
+			} else {
+				cur = cur.Right
+			}
+		}
+		if majorityClass(cur.ClassCounts) != tu.Class(s) {
+			errs++
+		}
+	}
+	return errs
+}
+
+func leafErrorCount(s *dataset.Schema, leaf *Node, v *dataset.Dataset, idx []int) int {
+	pred := majorityClass(leaf.ClassCounts)
+	errs := 0
+	for _, i := range idx {
+		if v.Tuples[i].Class(s) != pred {
+			errs++
+		}
+	}
+	return errs
+}
+
+func majorityClass(counts []int) int {
+	best, bestC := 0, counts[0]
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > bestC {
+			best, bestC = c, counts[c]
+		}
+	}
+	return best
+}

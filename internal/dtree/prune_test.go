@@ -1,0 +1,140 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"focus/internal/dataset"
+)
+
+// noisyDataset labels by x <= 0.5 with the given label-noise rate, so an
+// unpruned deep tree overfits the noise.
+func noisyDataset(n int, noise float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(xorSchema())
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		cls := 0.0
+		if x > 0.5 {
+			cls = 1
+		}
+		if rng.Float64() < noise {
+			cls = 1 - cls
+		}
+		d.Add(dataset.Tuple{x, y, cls})
+	}
+	return d
+}
+
+func TestPruneShrinksOverfitTree(t *testing.T) {
+	train := noisyDataset(3000, 0.25, 1)
+	valid := noisyDataset(1500, 0.25, 2)
+	test := noisyDataset(1500, 0.25, 3)
+
+	tree, err := Build(train, Config{MaxDepth: 12, MinLeaf: 5, MinGain: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() < 10 {
+		t.Skipf("tree did not overfit (%d leaves); noise model too easy", tree.NumLeaves())
+	}
+	pruned, err := tree.PruneReducedError(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumLeaves() >= tree.NumLeaves() {
+		t.Errorf("pruning did not shrink the tree: %d -> %d leaves", tree.NumLeaves(), pruned.NumLeaves())
+	}
+	// Pruned tree must not be worse on held-out data (allowing a little
+	// slack for sampling noise).
+	meFull := tree.MisclassificationError(test)
+	mePruned := pruned.MisclassificationError(test)
+	if mePruned > meFull+0.02 {
+		t.Errorf("pruned test ME %v much worse than unpruned %v", mePruned, meFull)
+	}
+	// Validation error cannot increase, by construction of the algorithm.
+	if pv, fv := pruned.MisclassificationError(valid), tree.MisclassificationError(valid); pv > fv {
+		t.Errorf("pruning increased validation error: %v > %v", pv, fv)
+	}
+}
+
+func TestPrunePreservesTrainingCounts(t *testing.T) {
+	train := noisyDataset(1000, 0.2, 4)
+	valid := noisyDataset(500, 0.2, 5)
+	tree, err := Build(train, Config{MaxDepth: 8, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := tree.PruneReducedError(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(tr *Tree) int {
+		total := 0
+		for _, lf := range tr.Leaves() {
+			for _, c := range lf.Counts {
+				total += c
+			}
+		}
+		return total
+	}
+	if sum(pruned) != sum(tree) {
+		t.Errorf("pruning lost training mass: %d vs %d", sum(pruned), sum(tree))
+	}
+}
+
+func TestPruneDoesNotMutateOriginal(t *testing.T) {
+	train := noisyDataset(1000, 0.2, 6)
+	valid := noisyDataset(500, 0.2, 7)
+	tree, err := Build(train, Config{MaxDepth: 8, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.NumLeaves()
+	if _, err := tree.PruneReducedError(valid); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != before {
+		t.Error("pruning mutated the original tree")
+	}
+	// The original still routes and predicts.
+	probe := valid.Tuples[0]
+	_ = tree.Predict(probe)
+}
+
+func TestPruneValidation(t *testing.T) {
+	train := noisyDataset(500, 0.1, 8)
+	tree, err := Build(train, Config{MaxDepth: 4, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.PruneReducedError(dataset.New(xorSchema())); err == nil {
+		t.Error("empty validation set accepted")
+	}
+	other := dataset.NewClassSchema(1,
+		dataset.Attribute{Name: "z", Kind: dataset.Numeric, Min: 0, Max: 1},
+		dataset.Attribute{Name: "class", Kind: dataset.Categorical, Values: []string{"0", "1"}},
+	)
+	bad := dataset.FromTuples(other, []dataset.Tuple{{0.5, 0}})
+	if _, err := tree.PruneReducedError(bad); err == nil {
+		t.Error("mismatched validation schema accepted")
+	}
+}
+
+func TestPrunePureTreeIsNoop(t *testing.T) {
+	// A noise-free rule yields a small exact tree; pruning on clean
+	// validation data must keep its accuracy perfect.
+	train := noisyDataset(1000, 0, 9)
+	valid := noisyDataset(500, 0, 10)
+	tree, err := Build(train, Config{MaxDepth: 6, MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := tree.PruneReducedError(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me := pruned.MisclassificationError(valid); me != 0 {
+		t.Errorf("pruned exact tree has validation ME %v", me)
+	}
+}

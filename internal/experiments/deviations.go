@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"focus/internal/classgen"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/quest"
+	"focus/internal/stats"
+	"focus/internal/txn"
+)
+
+// This file implements the controlled deviation studies of Section 7:
+// Figure 13 (lits: deviation, significance, upper bound, timings against a
+// family of dataset variants), Figure 14 (dt: deviation and significance),
+// and Figure 15 (misclassification error vs deviation).
+
+// Fig13Row is one row of Figure 13's table.
+type Fig13Row struct {
+	// Name identifies the variant, e.g. "D(2)" or "D+Δ(6)".
+	Name string
+	// Deviation is delta(f_a, g_sum) between D and the variant.
+	Deviation float64
+	// Significance is the bootstrap sig(delta) in percent.
+	Significance float64
+	// UpperBound is delta*(g_sum), computed from the models alone.
+	UpperBound float64
+	// TimeDelta and TimeUpperBound are wall-clock timings of the two
+	// computations (Theorem 4.2(3): the bound needs no dataset scan).
+	TimeDelta, TimeUpperBound time.Duration
+}
+
+// Fig13Result is the table of Figure 13.
+type Fig13Result struct {
+	Dataset string
+	Rows    []Fig13Row
+}
+
+// Print renders the table in the paper's layout.
+func (r Fig13Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 13: Deviation with D: %s\n", r.Dataset)
+	fmt.Fprintf(w, "%-10s %12s %10s %12s %14s %14s\n", "Dataset", "delta", "%sig", "delta*", "time(delta)", "time(delta*)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %12.4f %10.0f %12.4f %14s %14s\n",
+			row.Name, row.Deviation, row.Significance, row.UpperBound,
+			row.TimeDelta.Round(time.Millisecond), row.TimeUpperBound.Round(time.Microsecond))
+	}
+}
+
+// fig13Variants builds the dataset family of Section 7.1 around the base
+// configuration: D(1) has the same distribution at half size; D(2)-D(4) vary
+// (patterns, patlen) to (6K,4), (4K,5), (5K,5) — scaled proportionally —
+// and D+Δ(5)-(7) append small blocks generated with those parameters.
+func fig13Variants(sc Scale, seed int64) (base *txn.Dataset, names []string, variants []*txn.Dataset, err error) {
+	baseCfg := sc.litsConfig(sc.LitsSizes[0], seed)
+	baseGen, err := quest.NewGenerator(baseCfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	base = baseGen.Generate()
+	mk := func(pats float64, plen float64, n int, s int64) (*txn.Dataset, error) {
+		cfg := baseCfg
+		cfg.NumPatterns = int(float64(baseCfg.NumPatterns) * pats)
+		cfg.AvgPatternLen = plen
+		cfg.NumTxns = n
+		cfg.Seed = s
+		return quest.Generate(cfg)
+	}
+	n := sc.LitsSizes[0]
+	deltaN := int(sc.DeltaFraction * float64(n))
+
+	// D(1): the same generating process — identical pattern pool, fresh
+	// transaction randomness — at half size. (Re-seeding the generator
+	// would rebuild the pattern pool and thereby change the distribution,
+	// which is D(2)-(4)'s job.)
+	d1 := baseGen.GenerateN(n / 2)
+	// D(2)-(4): (1.5x pats, 4), (1x pats, 5), (1.25x pats, 5) — the paper's
+	// (6K,4), (4K,5), (5K,5) relative to a 4K base.
+	d2, err := mk(1.5, 4, n, seed+12)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d3, err := mk(1, 5, n, seed+13)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d4, err := mk(1.25, 5, n, seed+14)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Δ(5)-(7): small blocks with those parameter settings, appended to D.
+	blocks := [][2]float64{{1.5, 4}, {1, 5}, {1.25, 5}}
+	appended := make([]*txn.Dataset, 0, 3)
+	for i, b := range blocks {
+		blk, err := mk(b[0], b[1], deltaN, seed+int64(15+i))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cat, err := base.Concat(blk)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		appended = append(appended, cat)
+	}
+
+	names = []string{"D(1)", "D(2)", "D(3)", "D(4)", "D+Δ(5)", "D+Δ(6)", "D+Δ(7)"}
+	variants = []*txn.Dataset{d1, d2, d3, d4, appended[0], appended[1], appended[2]}
+	return base, names, variants, nil
+}
+
+// Fig13 regenerates Figure 13: deviations of the variant family against the
+// base dataset, their bootstrap significance, the model-only upper bound
+// delta*, and the timing contrast between delta (scans both datasets) and
+// delta* (reads only the two models).
+func Fig13(sc Scale, seed int64) (Fig13Result, error) {
+	base, names, variants, err := fig13Variants(sc, seed)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	baseModel, err := core.MineLits(base, sc.LitsMinSup)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	result := Fig13Result{Dataset: sc.litsConfig(sc.LitsSizes[0], seed).Name()}
+	for i, d := range variants {
+		m, err := core.MineLits(d, sc.LitsMinSup)
+		if err != nil {
+			return Fig13Result{}, err
+		}
+		t0 := time.Now()
+		dev, err := core.LitsDeviation(baseModel, m, base, d, core.AbsoluteDiff, core.Sum, core.LitsOptions{})
+		if err != nil {
+			return Fig13Result{}, err
+		}
+		tDelta := time.Since(t0)
+
+		t1 := time.Now()
+		bound := core.LitsUpperBound(baseModel, m, core.Sum)
+		tBound := time.Since(t1)
+
+		// Rows 5-7 are the monitoring setting (D+Δ extends D), so their
+		// null must preserve the shared-prefix dependence.
+		q, err := core.QualifyLits(base, d, sc.LitsMinSup, core.AbsoluteDiff, core.Sum,
+			core.QualifyOptions{Replicates: sc.Replicates, Seed: seed + int64(100+i), Extension: i >= 4})
+		if err != nil {
+			return Fig13Result{}, err
+		}
+		result.Rows = append(result.Rows, Fig13Row{
+			Name:           names[i],
+			Deviation:      dev,
+			Significance:   q.Significance,
+			UpperBound:     bound,
+			TimeDelta:      tDelta,
+			TimeUpperBound: tBound,
+		})
+	}
+	return result, nil
+}
+
+// Fig14Row is one row of Figure 14's table.
+type Fig14Row struct {
+	Name         string
+	Deviation    float64
+	Significance float64
+}
+
+// Fig14Result is the table of Figure 14, plus the ME-vs-deviation pairs the
+// scatter of Figure 15 is drawn from.
+type Fig14Result struct {
+	Dataset string
+	Rows    []Fig14Row
+}
+
+// Print renders the table.
+func (r Fig14Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 14: Deviation with D: %s\n", r.Dataset)
+	fmt.Fprintf(w, "%-10s %12s %10s\n", "ID", "delta", "%sig")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %12.4f %10.0f\n", row.Name, row.Deviation, row.Significance)
+	}
+}
+
+// fig14Variants builds the dt dataset family of Section 7.2: D = N.F1;
+// D(1) = (N/2).F1 fresh seed; D(2)-(4) = N.F2..F4; D(5)-(7) = D plus small
+// blocks from F2..F4.
+func fig14Variants(sc Scale, seed int64) (base *dataset.Dataset, names []string, variants []*dataset.Dataset, err error) {
+	n := sc.DTSizes[0]
+	deltaN := int(sc.DeltaFraction * float64(n))
+	gen := func(num int, fn classgen.Function, s int64) (*dataset.Dataset, error) {
+		return classgen.Generate(classgen.Config{NumTuples: num, Function: fn, Seed: s})
+	}
+	base, err = gen(n, classgen.F1, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d1, err := gen(n/2, classgen.F1, seed+21)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var rest []*dataset.Dataset
+	for i, fn := range []classgen.Function{classgen.F2, classgen.F3, classgen.F4} {
+		d, err := gen(n, fn, seed+int64(22+i))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rest = append(rest, d)
+	}
+	for i, fn := range []classgen.Function{classgen.F2, classgen.F3, classgen.F4} {
+		blk, err := gen(deltaN, fn, seed+int64(25+i))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cat, err := base.Concat(blk)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rest = append(rest, cat)
+	}
+	names = []string{"D(1)", "D(2)", "D(3)", "D(4)", "D+Δ(5)", "D+Δ(6)", "D+Δ(7)"}
+	variants = append([]*dataset.Dataset{d1}, rest...)
+	return base, names, variants, nil
+}
+
+// Fig14 regenerates Figure 14: deviations and significance of the dt
+// variant family against D = 1M.F1 (scaled).
+func Fig14(sc Scale, seed int64) (Fig14Result, error) {
+	base, names, variants, err := fig14Variants(sc, seed)
+	if err != nil {
+		return Fig14Result{}, err
+	}
+	tcfg := dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf}
+	result := Fig14Result{Dataset: classgen.Config{NumTuples: sc.DTSizes[0], Function: classgen.F1}.Name()}
+	for i, d := range variants {
+		// Rows 5-7 are the monitoring setting (D+Δ extends D), so their
+		// null must preserve the shared-prefix dependence.
+		q, err := core.QualifyDT(base, d, tcfg, core.AbsoluteDiff, core.Sum,
+			core.QualifyOptions{Replicates: sc.Replicates, Seed: seed + int64(200+i), Extension: i >= 4})
+		if err != nil {
+			return Fig14Result{}, err
+		}
+		result.Rows = append(result.Rows, Fig14Row{
+			Name:         names[i],
+			Deviation:    q.Deviation,
+			Significance: q.Significance,
+		})
+	}
+	return result, nil
+}
+
+// Fig15Point is one point of Figure 15's scatter.
+type Fig15Point struct {
+	Name      string
+	Deviation float64
+	ME        float64
+}
+
+// Fig15Result holds the scatter points and their correlation.
+type Fig15Result struct {
+	Points      []Fig15Point
+	Correlation float64
+}
+
+// Print renders the scatter data and the correlation coefficient.
+func (r Fig15Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 15: Misclassification error vs deviation")
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "ID", "delta", "ME")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-10s %12.4f %12.4f\n", p.Name, p.Deviation, p.ME)
+	}
+	fmt.Fprintf(w, "Pearson correlation: %.4f\n", r.Correlation)
+}
+
+// Fig15 regenerates Figure 15: for the second datasets of the Figure 14
+// family (D(2)-D(4) and the Δ blocks), the misclassification error of the
+// tree built from D is plotted against the deviation between the datasets;
+// the paper reports a strong positive correlation.
+func Fig15(sc Scale, seed int64) (Fig15Result, error) {
+	base, names, variants, err := fig14Variants(sc, seed)
+	if err != nil {
+		return Fig15Result{}, err
+	}
+	tcfg := dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf}
+	baseModel, err := core.BuildDTModel(base, tcfg)
+	if err != nil {
+		return Fig15Result{}, err
+	}
+	var result Fig15Result
+	var devs, mes []float64
+	// The paper's scatter uses the distribution-changing variants (rows
+	// 2-7); D(1) shares D's distribution and would sit at the origin.
+	for i := 1; i < len(variants); i++ {
+		d := variants[i]
+		m, err := core.BuildDTModel(d, tcfg)
+		if err != nil {
+			return Fig15Result{}, err
+		}
+		dev, err := core.DTDeviation(baseModel, m, base, d, core.AbsoluteDiff, core.Sum, core.DTOptions{})
+		if err != nil {
+			return Fig15Result{}, err
+		}
+		me := baseModel.Tree.MisclassificationError(d)
+		result.Points = append(result.Points, Fig15Point{Name: names[i], Deviation: dev, ME: me})
+		devs = append(devs, dev)
+		mes = append(mes, me)
+	}
+	result.Correlation = stats.PearsonCorrelation(devs, mes)
+	return result, nil
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment harness is validated at Quick scale: the paper's shape
+// claims must hold even on small data.
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "laptop", "paper"} {
+		sc, err := ScaleByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != name {
+			t.Errorf("ScaleByName(%q).Name = %q", name, sc.Name)
+		}
+	}
+	if sc, err := ScaleByName(""); err != nil || sc.Name != "laptop" {
+		t.Error("empty scale should default to laptop")
+	}
+	if _, err := ScaleByName("warehouse"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestTable1QuickShape(t *testing.T) {
+	res, err := Table1(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("Table 1 has %d rows, want 9 (consecutive SF pairs)", len(res.Rows))
+	}
+	// The paper reports 99.99 everywhere; at quick scale we only demand
+	// that most transitions are clearly significant.
+	high := 0
+	for _, r := range res.Rows {
+		if r.Significance > 90 {
+			high++
+		}
+	}
+	if high < 6 {
+		t.Errorf("only %d/9 transitions significant at 90%%: %+v", high, res.Rows)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Sample Fraction") {
+		t.Error("Print output missing header")
+	}
+}
+
+func TestTable2QuickShape(t *testing.T) {
+	res, err := Table2(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("Table 2 has %d rows", len(res.Rows))
+	}
+	high := 0
+	for _, r := range res.Rows {
+		if r.Significance > 75 {
+			high++
+		}
+	}
+	if high < 5 {
+		t.Errorf("only %d/9 transitions significant: %+v", high, res.Rows)
+	}
+}
+
+func TestLitsSDCurvesShape(t *testing.T) {
+	res, err := LitsSDCurves(Quick, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("got %d series, want 3 minsup levels", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.SD) != len(SampleFractions) {
+			t.Fatalf("series %q has %d points", s.Label, len(s.SD))
+		}
+		// Shape claims of Figures 7-9: SD at tiny samples far exceeds SD at
+		// large samples, and the largest fraction is near the minimum.
+		if s.SD[0] <= s.SD[len(s.SD)-1] {
+			t.Errorf("series %q: SD(0.01)=%v <= SD(0.9)=%v; no decay", s.Label, s.SD[0], s.SD[len(s.SD)-1])
+		}
+	}
+	// Lower minimum support => harder estimation => larger SD
+	// (conclusion (1) of Section 6.1.1). The SF<=0.05 points are dominated
+	// by tiny-sample noise at quick scale, so compare the curves from
+	// SF=0.1 on.
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if lo, hi := mean(res.Series[2].SD[2:]), mean(res.Series[0].SD[2:]); lo < hi {
+		t.Errorf("lower minsup gave smaller mean SD beyond SF=0.1: %v vs %v", lo, hi)
+	}
+	if _, err := LitsSDCurves(Quick, 5, 3); err == nil {
+		t.Error("bad size index accepted")
+	}
+}
+
+func TestDTSDCurvesShape(t *testing.T) {
+	res, err := DTSDCurves(Quick, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("got %d series, want F1-F4", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.SD[0] <= s.SD[len(s.SD)-1] {
+			t.Errorf("series %q: no SD decay (%v -> %v)", s.Label, s.SD[0], s.SD[len(s.SD)-1])
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "F1") {
+		t.Error("Print output missing series label")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13(Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("Fig13 has %d rows, want 7", len(res.Rows))
+	}
+	same := res.Rows[0] // D(1): same process
+	// Same-distribution deviation must be the smallest of the family.
+	for _, r := range res.Rows[1:4] {
+		if same.Deviation >= r.Deviation {
+			t.Errorf("same-process deviation %v >= changed-process %v (%s)", same.Deviation, r.Deviation, r.Name)
+		}
+	}
+	// Theorem 4.2: bound dominates deviation on every row.
+	for _, r := range res.Rows {
+		if r.UpperBound < r.Deviation-1e-9 {
+			t.Errorf("%s: delta* %v < delta %v", r.Name, r.UpperBound, r.Deviation)
+		}
+	}
+	// The paper's headline: D(2)-D(4) are 99%-significant, D(1) is not.
+	for _, r := range res.Rows[1:4] {
+		if r.Significance < 90 {
+			t.Errorf("%s: significance %v, want high", r.Name, r.Significance)
+		}
+	}
+	if same.Significance > 95 {
+		t.Errorf("D(1) significance %v, want low", same.Significance)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "delta*") {
+		t.Error("Print output missing delta* column")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	res, err := Fig14(Quick, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("Fig14 has %d rows", len(res.Rows))
+	}
+	// D(1) shares D's distribution: smallest deviation, low significance.
+	same := res.Rows[0]
+	for _, r := range res.Rows[1:4] {
+		if same.Deviation >= r.Deviation {
+			t.Errorf("same-process dt deviation %v >= %v (%s)", same.Deviation, r.Deviation, r.Name)
+		}
+		if r.Significance < 90 {
+			t.Errorf("%s significance = %v, want high", r.Name, r.Significance)
+		}
+	}
+}
+
+func TestFig15PositiveCorrelation(t *testing.T) {
+	res, err := Fig15(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("Fig15 has %d points, want 6", len(res.Points))
+	}
+	// The paper reports a strong positive correlation between ME and
+	// deviation.
+	if res.Correlation < 0.6 {
+		t.Errorf("ME-deviation correlation = %v, want strongly positive", res.Correlation)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Pearson correlation") {
+		t.Error("Print output missing correlation")
+	}
+}

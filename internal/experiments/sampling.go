@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/quest"
+	"focus/internal/stats"
+	"focus/internal/txn"
+
+	"focus/internal/classgen"
+)
+
+// This file implements the sample-size study of Section 6: the sample
+// deviation SD(S) = delta(M, M_S) of a random sample S of D measures how
+// representative S is of D; Tables 1-2 test whether SD decreases
+// significantly with sample size (Wilcoxon), and Figures 7-12 plot SD
+// against the sample fraction.
+
+// LitsSampleDeviation computes SD for one random sample of d at the given
+// fraction: the lits-model of the sample is compared against the full
+// model m with delta(f_a, g_sum).
+func LitsSampleDeviation(d *txn.Dataset, m *core.LitsModel, frac, minSup float64, rng *rand.Rand) (float64, error) {
+	s := d.SampleFraction(frac, rng)
+	ms, err := core.MineLits(s, minSup)
+	if err != nil {
+		return 0, err
+	}
+	return core.LitsDeviation(m, ms, d, s, core.AbsoluteDiff, core.Sum, core.LitsOptions{})
+}
+
+// DTSampleDeviation computes SD for one random sample of d at the given
+// fraction using dt-models.
+func DTSampleDeviation(d *dataset.Dataset, m *core.DTModel, frac float64, cfg dtree.Config, rng *rand.Rand) (float64, error) {
+	s := d.SampleFraction(frac, rng)
+	ms, err := core.BuildDTModel(s, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return core.DTDeviation(m, ms, d, s, core.AbsoluteDiff, core.Sum, core.DTOptions{})
+}
+
+// SignificanceRow is one column of Tables 1 and 2: the Wilcoxon significance
+// of the SD decrease when growing the sample fraction FromSF to ToSF.
+type SignificanceRow struct {
+	FromSF, ToSF float64
+	Significance float64
+}
+
+// SignificanceTable is the result of Table 1 or Table 2.
+type SignificanceTable struct {
+	Title   string
+	Dataset string
+	Rows    []SignificanceRow
+}
+
+// Print renders the table in the paper's layout: a sample-fraction row and a
+// significance row.
+func (t SignificanceTable) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s (dataset %s)\n", t.Title, t.Dataset)
+	fmt.Fprintf(w, "Sample Fraction ")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%8.2f", r.FromSF)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Significance    ")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%8.2f", r.Significance)
+	}
+	fmt.Fprintln(w)
+}
+
+// sdSets collects SD samples for every fraction of the Table 1/2 grid
+// (excluding the trailing 0.9 figure point), then runs Wilcoxon between
+// consecutive sizes: H1 is that the larger sample's SDs are smaller.
+func significanceFromSDs(sds [][]float64, fractions []float64) []SignificanceRow {
+	rows := make([]SignificanceRow, 0, len(sds)-1)
+	for i := 0; i+1 < len(sds); i++ {
+		res := stats.WilcoxonRankSum(sds[i+1], sds[i], stats.Less)
+		rows = append(rows, SignificanceRow{
+			FromSF:       fractions[i],
+			ToSF:         fractions[i+1],
+			Significance: res.Significance,
+		})
+	}
+	return rows
+}
+
+// tableFractions is the Table 1/2 grid (without the 0.9 curve point).
+func tableFractions() []float64 {
+	return SampleFractions[:10]
+}
+
+// Table1 regenerates Table 1: the significance of the increase in
+// representativeness with sample size for lits-models on the Quest dataset
+// 1M.20L.1K.4000pats.4patlen (scaled).
+func Table1(sc Scale, seed int64) (SignificanceTable, error) {
+	cfg := sc.litsConfig(sc.LitsSizes[0], seed)
+	d, err := quest.Generate(cfg)
+	if err != nil {
+		return SignificanceTable{}, err
+	}
+	m, err := core.MineLits(d, sc.LitsMinSup)
+	if err != nil {
+		return SignificanceTable{}, err
+	}
+	fractions := tableFractions()
+	sds := make([][]float64, len(fractions))
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i, sf := range fractions {
+		sds[i] = make([]float64, sc.SamplesPerSize)
+		for j := range sds[i] {
+			sd, err := LitsSampleDeviation(d, m, sf, sc.LitsMinSup, rng)
+			if err != nil {
+				return SignificanceTable{}, err
+			}
+			sds[i][j] = sd
+		}
+	}
+	return SignificanceTable{
+		Title:   "Table 1: lits-models: % significance of increase in representativeness with sample size",
+		Dataset: cfg.Name(),
+		Rows:    significanceFromSDs(sds, fractions),
+	}, nil
+}
+
+// Table2 regenerates Table 2: the same study for dt-models on 1M.F1
+// (scaled).
+func Table2(sc Scale, seed int64) (SignificanceTable, error) {
+	cfg := classgen.Config{NumTuples: sc.DTSizes[0], Function: classgen.F1, Seed: seed}
+	d, err := classgen.Generate(cfg)
+	if err != nil {
+		return SignificanceTable{}, err
+	}
+	tcfg := dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf}
+	m, err := core.BuildDTModel(d, tcfg)
+	if err != nil {
+		return SignificanceTable{}, err
+	}
+	fractions := tableFractions()
+	sds := make([][]float64, len(fractions))
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i, sf := range fractions {
+		sds[i] = make([]float64, sc.SamplesPerSize)
+		for j := range sds[i] {
+			// Scale MinLeaf with the sample so small samples still grow
+			// comparable trees.
+			scfg := tcfg
+			if scaled := int(float64(tcfg.MinLeaf) * sf); scaled >= 2 {
+				scfg.MinLeaf = scaled
+			} else {
+				scfg.MinLeaf = 2
+			}
+			sd, err := DTSampleDeviation(d, m, sf, scfg, rng)
+			if err != nil {
+				return SignificanceTable{}, err
+			}
+			sds[i][j] = sd
+		}
+	}
+	return SignificanceTable{
+		Title:   "Table 2: dt-models: % significance of decrease in sample deviation with sample fraction",
+		Dataset: cfg.Name(),
+		Rows:    significanceFromSDs(sds, fractions),
+	}, nil
+}
+
+// CurveSeries is one SD-vs-SF curve (one minimum support level or one
+// classification function).
+type CurveSeries struct {
+	Label string
+	// SD[i] is the mean sample deviation at SampleFractions[i].
+	SD []float64
+}
+
+// CurveResult is one of Figures 7-12.
+type CurveResult struct {
+	Title   string
+	Dataset string
+	Series  []CurveSeries
+}
+
+// Print renders the curves as aligned columns: one row per sample fraction.
+func (c CurveResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s (dataset %s)\n", c.Title, c.Dataset)
+	fmt.Fprintf(w, "%-8s", "SF")
+	for _, s := range c.Series {
+		fmt.Fprintf(w, "%22s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for i, sf := range SampleFractions {
+		fmt.Fprintf(w, "%-8.2f", sf)
+		for _, s := range c.Series {
+			fmt.Fprintf(w, "%22.5f", s.SD[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// LitsSDCurves regenerates Figure 7, 8 or 9 (sizeIdx 0, 1, 2): SD vs SF for
+// minimum supports 0.01, 0.008, 0.006 on the Quest dataset of the given
+// size. At non-paper scales the three supports are scaled proportionally to
+// the configured LitsMinSup.
+func LitsSDCurves(sc Scale, sizeIdx int, seed int64) (CurveResult, error) {
+	if sizeIdx < 0 || sizeIdx > 2 {
+		return CurveResult{}, fmt.Errorf("experiments: size index %d outside [0,2]", sizeIdx)
+	}
+	cfg := sc.litsConfig(sc.LitsSizes[sizeIdx], seed)
+	d, err := quest.Generate(cfg)
+	if err != nil {
+		return CurveResult{}, err
+	}
+	supports := []float64{sc.LitsMinSup, sc.LitsMinSup * 0.8, sc.LitsMinSup * 0.6}
+	result := CurveResult{
+		Title:   fmt.Sprintf("Figure %d: lits-models SD vs SF", 7+sizeIdx),
+		Dataset: cfg.Name(),
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	for _, ms := range supports {
+		m, err := core.MineLits(d, ms)
+		if err != nil {
+			return CurveResult{}, err
+		}
+		series := CurveSeries{Label: fmt.Sprintf("f_a,g_sum;minSup=%.4g", ms)}
+		for _, sf := range SampleFractions {
+			sum := 0.0
+			for k := 0; k < sc.CurveSamples; k++ {
+				sd, err := LitsSampleDeviation(d, m, sf, ms, rng)
+				if err != nil {
+					return CurveResult{}, err
+				}
+				sum += sd
+			}
+			series.SD = append(series.SD, sum/float64(sc.CurveSamples))
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// DTSDCurves regenerates Figure 10, 11 or 12 (sizeIdx 0, 1, 2): SD vs SF for
+// classification functions F1-F4 on datasets of the given size.
+func DTSDCurves(sc Scale, sizeIdx int, seed int64) (CurveResult, error) {
+	if sizeIdx < 0 || sizeIdx > 2 {
+		return CurveResult{}, fmt.Errorf("experiments: size index %d outside [0,2]", sizeIdx)
+	}
+	result := CurveResult{
+		Title:   fmt.Sprintf("Figure %d: dt-models SD vs SF", 10+sizeIdx),
+		Dataset: fmt.Sprintf("%d tuples", sc.DTSizes[sizeIdx]),
+	}
+	tcfg := dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf}
+	rng := rand.New(rand.NewSource(seed + 3))
+	for _, fn := range []classgen.Function{classgen.F1, classgen.F2, classgen.F3, classgen.F4} {
+		d, err := classgen.Generate(classgen.Config{NumTuples: sc.DTSizes[sizeIdx], Function: fn, Seed: seed})
+		if err != nil {
+			return CurveResult{}, err
+		}
+		m, err := core.BuildDTModel(d, tcfg)
+		if err != nil {
+			return CurveResult{}, err
+		}
+		series := CurveSeries{Label: fmt.Sprintf("f_a,g_sum:%s", fn)}
+		for _, sf := range SampleFractions {
+			scfg := tcfg
+			if scaled := int(float64(tcfg.MinLeaf) * sf); scaled >= 2 {
+				scfg.MinLeaf = scaled
+			} else {
+				scfg.MinLeaf = 2
+			}
+			sum := 0.0
+			for k := 0; k < sc.CurveSamples; k++ {
+				sd, err := DTSampleDeviation(d, m, sf, scfg, rng)
+				if err != nil {
+					return CurveResult{}, err
+				}
+				sum += sd
+			}
+			series.SD = append(series.SD, sum/float64(sc.CurveSamples))
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}

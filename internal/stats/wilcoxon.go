@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Alternative selects the alternative hypothesis of a two-sample test
+// comparing sample X against sample Y.
+type Alternative int
+
+const (
+	// TwoSided tests H1: the distributions differ in location.
+	TwoSided Alternative = iota
+	// Less tests H1: X is stochastically smaller than Y.
+	Less
+	// Greater tests H1: X is stochastically larger than Y.
+	Greater
+)
+
+// String names the alternative.
+func (a Alternative) String() string {
+	switch a {
+	case TwoSided:
+		return "two-sided"
+	case Less:
+		return "less"
+	case Greater:
+		return "greater"
+	default:
+		return fmt.Sprintf("Alternative(%d)", int(a))
+	}
+}
+
+// WilcoxonResult holds the outcome of a Wilcoxon rank-sum (Mann-Whitney)
+// two-sample test.
+type WilcoxonResult struct {
+	// W is the rank-sum statistic of the first sample.
+	W float64
+	// U is the equivalent Mann-Whitney statistic of the first sample.
+	U float64
+	// Z is the normal approximation score (with tie correction and
+	// continuity correction).
+	Z float64
+	// P is the p-value under the requested alternative.
+	P float64
+	// Significance is the confidence 100*(1-P) with which the null
+	// hypothesis is rejected, as reported in Tables 1 and 2 of the paper.
+	Significance float64
+}
+
+// WilcoxonRankSum performs the Wilcoxon two-sample rank-sum test of Section 6
+// (following Bickel & Doksum as cited by the paper), using the normal
+// approximation with average ranks for ties, tie-corrected variance, and a
+// 0.5 continuity correction. Both samples must be non-empty.
+//
+// The paper uses it with x = SD values of the larger sample size, y = SD
+// values of the smaller, alternative Less: "the SD measures for size s(i+1)
+// are smaller than those of s(i)".
+func WilcoxonRankSum(x, y []float64, alt Alternative) WilcoxonResult {
+	m, n := len(x), len(y)
+	if m == 0 || n == 0 {
+		panic("stats: Wilcoxon rank-sum requires two non-empty samples")
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, m+n)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign average ranks to ties and accumulate the tie correction term
+	// sum(t^3 - t) over tie groups.
+	var w, tieSum float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		// Ranks are 1-based; positions i..j-1 share rank (i+1+j)/2.
+		avgRank := float64(i+1+j) / 2
+		t := float64(j - i)
+		tieSum += t*t*t - t
+		for k := i; k < j; k++ {
+			if all[k].first {
+				w += avgRank
+			}
+		}
+		i = j
+	}
+
+	fm, fn := float64(m), float64(n)
+	N := fm + fn
+	mean := fm * (N + 1) / 2
+	variance := fm * fn / 12 * (N + 1 - tieSum/(N*(N-1)))
+	u := w - fm*(fm+1)/2
+
+	res := WilcoxonResult{W: w, U: u}
+	if variance <= 0 {
+		// All observations identical: no evidence against the null.
+		res.Z = 0
+		res.P = 1
+		res.Significance = 0
+		return res
+	}
+	sd := math.Sqrt(variance)
+	// Continuity-corrected z for each alternative.
+	switch alt {
+	case Less:
+		res.Z = (w - mean + 0.5) / sd
+		res.P = NormalCDF(res.Z)
+	case Greater:
+		res.Z = (w - mean - 0.5) / sd
+		res.P = 1 - NormalCDF(res.Z)
+	case TwoSided:
+		z := (math.Abs(w-mean) - 0.5) / sd
+		if z < 0 {
+			z = 0
+		}
+		res.Z = z
+		res.P = 2 * (1 - NormalCDF(z))
+		if res.P > 1 {
+			res.P = 1
+		}
+	default:
+		panic(fmt.Sprintf("stats: unknown alternative %v", alt))
+	}
+	res.Significance = 100 * (1 - res.P)
+	if res.Significance < 0 {
+		res.Significance = 0
+	}
+	return res
+}

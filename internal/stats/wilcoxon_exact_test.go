@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWilcoxonExactSmallCase(t *testing.T) {
+	// x = {1,2}, y = {3,4,5}: W = 3 is the unique minimum of C(5,2) = 10
+	// equally likely rank subsets, so P(W <= 3) = 1/10.
+	res, err := WilcoxonRankSumExact([]float64{1, 2}, []float64{3, 4, 5}, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 3 {
+		t.Errorf("W = %v, want 3", res.W)
+	}
+	if math.Abs(res.P-0.1) > 1e-12 {
+		t.Errorf("P = %v, want 0.1", res.P)
+	}
+	// Greater direction: P(W >= 3) = 1.
+	res, err = WilcoxonRankSumExact([]float64{1, 2}, []float64{3, 4, 5}, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("P(greater) = %v, want 1", res.P)
+	}
+	// Two-sided doubles the smaller tail.
+	res, err = WilcoxonRankSumExact([]float64{1, 2}, []float64{3, 4, 5}, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-0.2) > 1e-12 {
+		t.Errorf("P(two-sided) = %v, want 0.2", res.P)
+	}
+}
+
+func TestWilcoxonExactSymmetricMiddle(t *testing.T) {
+	// Interleaved samples: W near its mean, two-sided p near 1.
+	res, err := WilcoxonRankSumExact([]float64{1, 3, 5}, []float64{2, 4, 6}, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.5 {
+		t.Errorf("interleaved samples P = %v, want large", res.P)
+	}
+}
+
+func TestWilcoxonExactErrors(t *testing.T) {
+	if _, err := WilcoxonRankSumExact(nil, []float64{1}, Less); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := WilcoxonRankSumExact([]float64{1, 2}, []float64{2, 3}, Less); err == nil {
+		t.Error("tied samples accepted")
+	}
+	big := make([]float64, MaxExactWilcoxonN)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	if _, err := WilcoxonRankSumExact(big, []float64{999}, Less); err == nil {
+		t.Error("oversized samples accepted")
+	}
+}
+
+// The exact test and the normal approximation must agree closely at
+// moderate sizes.
+func TestWilcoxonExactMatchesApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 12)
+		y := make([]float64, 14)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() + 0.5
+		}
+		exact, err := WilcoxonRankSumExact(x, y, Less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := WilcoxonRankSum(x, y, Less)
+		if math.Abs(exact.P-approx.P) > 0.03 {
+			t.Errorf("trial %d: exact P %v vs approx P %v", trial, exact.P, approx.P)
+		}
+	}
+}
+
+// The exact null is a proper distribution: sweeping W over its support
+// accumulates probability 1 (checked through the CDF at the extremes).
+func TestWilcoxonExactDistributionSane(t *testing.T) {
+	// Max W for m=3, n=4: ranks {5,6,7} sum 18. P(W <= 18) must be 1.
+	res, err := WilcoxonRankSumExact([]float64{8, 9, 10}, []float64{1, 2, 3, 4}, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("P at maximal W = %v, want 1", res.P)
+	}
+	if res.W != 5+6+7 {
+		t.Errorf("W = %v, want 18", res.W)
+	}
+	// And the opposite tail is the single most extreme outcome: 1/C(7,3).
+	res, err = WilcoxonRankSumExact([]float64{8, 9, 10}, []float64{1, 2, 3, 4}, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0 / 35; math.Abs(res.P-want) > 1e-12 {
+		t.Errorf("P(greater) = %v, want %v", res.P, want)
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWilcoxonRankSumByHand(t *testing.T) {
+	// x = {1,2}, y = {3,4,5}: ranks of x are 1,2 => W = 3 (the minimum),
+	// U = 0. Under "less", this is the strongest possible evidence.
+	res := WilcoxonRankSum([]float64{1, 2}, []float64{3, 4, 5}, Less)
+	if res.W != 3 {
+		t.Errorf("W = %v, want 3", res.W)
+	}
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+	if res.P >= 0.5 {
+		t.Errorf("P = %v, want < 0.5 for fully separated samples", res.P)
+	}
+}
+
+func TestWilcoxonTiesUseAverageRanks(t *testing.T) {
+	// x = {1, 2}, y = {2, 3}: the two 2s share rank (2+3)/2 = 2.5,
+	// so W = 1 + 2.5 = 3.5.
+	res := WilcoxonRankSum([]float64{1, 2}, []float64{2, 3}, TwoSided)
+	if res.W != 3.5 {
+		t.Errorf("W with ties = %v, want 3.5", res.W)
+	}
+}
+
+func TestWilcoxonIdenticalSamples(t *testing.T) {
+	x := []float64{5, 5, 5, 5}
+	res := WilcoxonRankSum(x, x, TwoSided)
+	if res.P != 1 || res.Significance != 0 {
+		t.Errorf("identical samples: P=%v sig=%v, want P=1 sig=0", res.P, res.Significance)
+	}
+}
+
+func TestWilcoxonShiftedSamplesSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 2 // strongly shifted up
+	}
+	res := WilcoxonRankSum(x, y, Less)
+	if res.Significance < 99 {
+		t.Errorf("significance of clear shift = %v, want >= 99", res.Significance)
+	}
+	// The opposite alternative should find nothing.
+	res2 := WilcoxonRankSum(x, y, Greater)
+	if res2.Significance > 50 {
+		t.Errorf("wrong-direction significance = %v, want small", res2.Significance)
+	}
+}
+
+func TestWilcoxonSamePopulationInsignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	res := WilcoxonRankSum(x, y, TwoSided)
+	if res.P < 0.01 {
+		t.Errorf("same-population P = %v, suspiciously small", res.P)
+	}
+}
+
+func TestWilcoxonTwoSidedConsistentWithOneSided(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 10}
+	y := []float64{5, 6, 7, 8, 9}
+	two := WilcoxonRankSum(x, y, TwoSided)
+	less := WilcoxonRankSum(x, y, Less)
+	greater := WilcoxonRankSum(x, y, Greater)
+	if less.P > 1 || greater.P > 1 || two.P > 1 {
+		t.Error("p-value exceeded 1")
+	}
+	if less.P < 0 || greater.P < 0 || two.P < 0 {
+		t.Error("negative p-value")
+	}
+	// One of the one-sided tests must be at least as extreme as half the
+	// two-sided p-value up to continuity correction slack.
+	minOne := less.P
+	if greater.P < minOne {
+		minOne = greater.P
+	}
+	if minOne > two.P {
+		t.Errorf("min one-sided P %v > two-sided P %v", minOne, two.P)
+	}
+}
+
+func TestWilcoxonPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty sample")
+		}
+	}()
+	WilcoxonRankSum(nil, []float64{1}, TwoSided)
+}
+
+func TestAlternativeString(t *testing.T) {
+	if TwoSided.String() != "two-sided" || Less.String() != "less" || Greater.String() != "greater" {
+		t.Error("Alternative names wrong")
+	}
+	if Alternative(9).String() == "" {
+		t.Error("unknown alternative has empty name")
+	}
+}

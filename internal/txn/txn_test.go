@@ -1,0 +1,267 @@
+package txn
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestTransactionContains(t *testing.T) {
+	tr := Transaction{1, 3, 5, 9}
+	for _, x := range []Item{1, 3, 5, 9} {
+		if !tr.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []Item{0, 2, 4, 10} {
+		if tr.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+}
+
+func TestTransactionContainsAll(t *testing.T) {
+	tr := Transaction{1, 3, 5, 9}
+	cases := []struct {
+		set  []Item
+		want bool
+	}{
+		{nil, true},
+		{[]Item{3}, true},
+		{[]Item{1, 9}, true},
+		{[]Item{1, 3, 5, 9}, true},
+		{[]Item{2}, false},
+		{[]Item{1, 2}, false},
+		{[]Item{9, 10}, false},
+	}
+	for _, c := range cases {
+		if got := tr.ContainsAll(c.set); got != c.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+// Property: ContainsAll agrees with a map-based subset check.
+func TestContainsAllProperty(t *testing.T) {
+	f := func(txnRaw, setRaw []uint8) bool {
+		var tr Transaction
+		for _, x := range txnRaw {
+			tr = append(tr, Item(x%32))
+		}
+		tr = tr.Normalize()
+		var set []Item
+		for _, x := range setRaw {
+			set = append(set, Item(x%32))
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		// Dedup the probe set.
+		uniq := set[:0]
+		for i, x := range set {
+			if i == 0 || x != set[i-1] {
+				uniq = append(uniq, x)
+			}
+		}
+		in := make(map[Item]bool)
+		for _, x := range tr {
+			in[x] = true
+		}
+		want := true
+		for _, x := range uniq {
+			if !in[x] {
+				want = false
+				break
+			}
+		}
+		return tr.ContainsAll(uniq) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tr := Transaction{5, 1, 3, 1, 5, 5}.Normalize()
+	want := Transaction{1, 3, 5}
+	if len(tr) != len(want) {
+		t.Fatalf("Normalize = %v, want %v", tr, want)
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := Transaction{1, 2}
+	c := tr.Clone()
+	c[0] = 9
+	if tr[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func testDataset() *Dataset {
+	d := New(10)
+	d.Add(
+		Transaction{0, 1},
+		Transaction{0, 1, 2},
+		Transaction{2},
+		Transaction{0},
+	)
+	return d
+}
+
+func TestSupportAndCount(t *testing.T) {
+	d := testDataset()
+	cases := []struct {
+		set  []Item
+		want int
+	}{
+		{[]Item{0}, 3},
+		{[]Item{1}, 2},
+		{[]Item{2}, 2},
+		{[]Item{0, 1}, 2},
+		{[]Item{0, 2}, 1},
+		{[]Item{3}, 0},
+		{nil, 4}, // empty itemset is contained in every transaction
+	}
+	for _, c := range cases {
+		if got := d.Count(c.set); got != c.want {
+			t.Errorf("Count(%v) = %d, want %d", c.set, got, c.want)
+		}
+		if got := d.Support(c.set); got != float64(c.want)/4 {
+			t.Errorf("Support(%v) = %v, want %v", c.set, got, float64(c.want)/4)
+		}
+	}
+	if got := New(5).Support([]Item{0}); got != 0 {
+		t.Errorf("Support on empty dataset = %v, want 0", got)
+	}
+}
+
+func TestAvgLen(t *testing.T) {
+	d := testDataset()
+	if got := d.AvgLen(); got != 7.0/4 {
+		t.Errorf("AvgLen = %v, want %v", got, 7.0/4)
+	}
+	if got := New(5).AvgLen(); got != 0 {
+		t.Errorf("AvgLen of empty dataset = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testDataset().Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	bad1 := New(3)
+	bad1.Add(Transaction{0, 5}) // item outside universe
+	if err := bad1.Validate(); err == nil {
+		t.Error("item outside universe accepted")
+	}
+	bad2 := New(3)
+	bad2.Add(Transaction{1, 0}) // unsorted
+	if err := bad2.Validate(); err == nil {
+		t.Error("unsorted transaction accepted")
+	}
+	bad3 := New(3)
+	bad3.Add(Transaction{1, 1}) // duplicate
+	if err := bad3.Validate(); err == nil {
+		t.Error("duplicate items accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	d := testDataset()
+	d2 := New(10)
+	d2.Add(Transaction{5})
+	out, err := d.Concat(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Errorf("Concat length = %d, want 5", out.Len())
+	}
+	other := New(20)
+	if _, err := d.Concat(other); err == nil {
+		t.Error("Concat across universes succeeded")
+	}
+}
+
+func TestSampleAndResample(t *testing.T) {
+	d := New(100)
+	for i := 0; i < 50; i++ {
+		d.Add(Transaction{Item(i)})
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := d.Sample(20, rng)
+	if s.Len() != 20 {
+		t.Fatalf("sample size = %d", s.Len())
+	}
+	seen := make(map[Item]bool)
+	for _, tr := range s.Txns {
+		if seen[tr[0]] {
+			t.Fatal("WOR sample contains duplicates")
+		}
+		seen[tr[0]] = true
+	}
+	if got := d.SampleFraction(0.5, rng).Len(); got != 25 {
+		t.Errorf("50%% sample = %d txns, want 25", got)
+	}
+	r := d.Resample(200, rng)
+	if r.Len() != 200 {
+		t.Errorf("resample size = %d", r.Len())
+	}
+	mustPanic(t, "oversample", func() { d.Sample(51, rng) })
+	mustPanic(t, "bad fraction", func() { d.SampleFraction(2, rng) })
+	mustPanic(t, "resample empty", func() { New(5).Resample(1, rng) })
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := testDataset()
+	d.Add(Transaction{}) // empty transaction survives the round trip
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumItems != d.NumItems || back.Len() != d.Len() {
+		t.Fatalf("round trip: %d items %d txns, want %d/%d", back.NumItems, back.Len(), d.NumItems, d.Len())
+	}
+	for i := range d.Txns {
+		if len(back.Txns[i]) != len(d.Txns[i]) {
+			t.Fatalf("txn %d length mismatch", i)
+		}
+		for j := range d.Txns[i] {
+			if back.Txns[i][j] != d.Txns[i][j] {
+				t.Fatalf("txn %d item %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("Read of empty input succeeded")
+	}
+	if _, err := Read(bytes.NewBufferString("notanumber\n")); err == nil {
+		t.Error("Read with bad universe size succeeded")
+	}
+	if _, err := Read(bytes.NewBufferString("10\n1 2 x\n")); err == nil {
+		t.Error("Read with bad item succeeded")
+	}
+}
