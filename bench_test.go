@@ -163,6 +163,18 @@ func BenchmarkAblationCountingTrie(b *testing.B) {
 	}
 }
 
+// Sharded trie counting vs the serial trie scan above: per-shard count
+// vectors merged in shard order (bit-identical results; the speedup is the
+// point). Compare against BenchmarkAblationCountingTrie.
+func BenchmarkParallelCountingTrie(b *testing.B) {
+	d, _ := ablationTxnData(b, 5000)
+	sets := randomItemsets(200, 500, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apriori.CountItemsetsP(d, sets, 0)
+	}
+}
+
 func BenchmarkAblationCountingBrute(b *testing.B) {
 	d, _ := ablationTxnData(b, 5000)
 	sets := randomItemsets(200, 500, 11)
@@ -190,6 +202,27 @@ func randomItemsets(count, universe int, seed int64) []apriori.Itemset {
 // bound is the paper's answer for interactive exploration (Figure 13's last
 // two columns).
 func BenchmarkAblationLitsDeviationScan(b *testing.B) {
+	d1, d2 := ablationTxnData(b, 10000)
+	m1, err := core.MineLits(d1, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m2, err := core.MineLits(d2, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LitsDeviation(m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.LitsOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sharded GCR support counting vs the serial scan above (Fig-13-scale
+// lits workload; bit-identical deviations). Compare against
+// BenchmarkAblationLitsDeviationScan.
+func BenchmarkParallelLitsDeviationScan(b *testing.B) {
 	d1, d2 := ablationTxnData(b, 10000)
 	m1, err := core.MineLits(d1, 0.01)
 	if err != nil {
@@ -251,6 +284,19 @@ func BenchmarkAblationDTDeviationRouted(b *testing.B) {
 	d1, d2, m1, m2 := ablationDTData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if _, err := core.DTDeviation(m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.DTOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sharded tree-routing vs the serial routed scan above (Fig-14-scale dt
+// workload; bit-identical deviations). Compare against
+// BenchmarkAblationDTDeviationRouted.
+func BenchmarkParallelDTDeviationRouted(b *testing.B) {
+	d1, d2, m1, m2 := ablationDTData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if _, err := core.DTDeviation(m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.DTOptions{}); err != nil {
 			b.Fatal(err)
 		}
@@ -279,6 +325,18 @@ func BenchmarkAprioriMine(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := apriori.Mine(d, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sharded per-pass candidate counting vs the serial miner above
+// (bit-identical frequent sets). Compare against BenchmarkAprioriMine.
+func BenchmarkParallelAprioriMine(b *testing.B) {
+	d, _ := ablationTxnData(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := apriori.MineP(d, 0.01, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

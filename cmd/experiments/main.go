@@ -15,14 +15,17 @@ import (
 	"time"
 
 	"focus/internal/experiments"
+	"focus/internal/parallel"
 )
 
 func main() {
 	var (
 		scaleName = flag.String("scale", "laptop", "workload scale: quick, laptop, or paper")
 		seed      = flag.Int64("seed", 1, "experiment seed")
+		par       = flag.Int("parallelism", 0, "worker count for scans and bootstrap (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*par)
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|table2|fig7..fig15|all ...")
 		flag.PrintDefaults()

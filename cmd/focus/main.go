@@ -19,6 +19,7 @@ import (
 	"focus/internal/core"
 	"focus/internal/dataset"
 	"focus/internal/dtree"
+	"focus/internal/parallel"
 	"focus/internal/stats"
 	"focus/internal/txn"
 )
@@ -35,8 +36,10 @@ func main() {
 		maxDepth   = flag.Int("maxdepth", 10, "decision tree depth limit")
 		minLeaf    = flag.Int("minleaf", 25, "decision tree minimum leaf size")
 		showBound  = flag.Bool("bound", false, "also print the delta* upper bound (lits only)")
+		par        = flag.Int("parallelism", 0, "worker count for scans and bootstrap (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefault(*par)
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: focus [flags] DATASET1 DATASET2")
 		flag.PrintDefaults()
@@ -55,11 +58,11 @@ func main() {
 	case "lits":
 		d1 := readTxns(flag.Arg(0))
 		d2 := readTxns(flag.Arg(1))
-		m1, err := core.MineLits(d1, *minsup)
+		m1, err := core.MineLitsP(d1, *minsup, 0)
 		if err != nil {
 			fatal(err)
 		}
-		m2, err := core.MineLits(d2, *minsup)
+		m2, err := core.MineLitsP(d2, *minsup, 0)
 		if err != nil {
 			fatal(err)
 		}

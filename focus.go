@@ -35,6 +35,16 @@
 // are exposed through the cmd/genquest and cmd/genclass tools; the full
 // experiment harness regenerating every table and figure of the paper lives
 // in cmd/experiments and the repo-root benchmarks.
+//
+// The deviation pipeline is parallel: dataset scans (Apriori support
+// counting, GCR region measurement, rank-operator counting) shard their
+// input across a worker pool and merge per-shard integer counts in
+// deterministic shard order, so parallel results are bit-identical to the
+// serial path. The Parallelism field on LitsOptions, DTOptions,
+// ClusterOptions and QualifyOptions selects the worker count: 0 means the
+// process default (GOMAXPROCS, overridable via SetParallelism or the CLIs'
+// -parallelism flag), 1 forces the exact serial path, n >= 2 uses n
+// workers.
 package focus
 
 import (
@@ -43,9 +53,17 @@ import (
 	"focus/internal/core"
 	"focus/internal/dataset"
 	"focus/internal/dtree"
+	"focus/internal/parallel"
 	"focus/internal/region"
 	"focus/internal/txn"
 )
+
+// SetParallelism fixes the worker count selected by a Parallelism knob of 0
+// anywhere in the pipeline (options structs, knob-less convenience
+// functions). Passing n <= 0 restores the built-in default, GOMAXPROCS.
+// Deviations are bit-identical for every setting; the knob trades wall-clock
+// speed against CPU use.
+func SetParallelism(n int) { parallel.SetDefault(n) }
 
 // Difference and aggregate functions (Definition 3.7).
 type (
@@ -111,10 +129,12 @@ type (
 	// Grid discretizes numeric attributes for cluster-models.
 	Grid = cluster.Grid
 
-	// LitsOptions tunes lits-model deviations (focussing).
+	// LitsOptions tunes lits-model deviations (focussing, parallelism).
 	LitsOptions = core.LitsOptions
-	// DTOptions tunes dt-model deviations (focussing).
+	// DTOptions tunes dt-model deviations (focussing, parallelism).
 	DTOptions = core.DTOptions
+	// ClusterOptions tunes cluster-model deviations (parallelism).
+	ClusterOptions = core.ClusterOptions
 	// GCRRegion is one region of a dt-model GCR overlay.
 	GCRRegion = core.GCRRegion
 )
@@ -122,6 +142,14 @@ type (
 // MineLits induces the lits-model of d at the given minimum support.
 func MineLits(d *TxnDataset, minSupport float64) (*LitsModel, error) {
 	return core.MineLits(d, minSupport)
+}
+
+// MineLitsP is MineLits with a parallelism knob (0 = the process default,
+// 1 = the exact serial path): Apriori's per-pass support counting shards
+// transactions across workers with a deterministic shard-order merge, so
+// the model is bit-identical to the serial miner for every worker count.
+func MineLitsP(d *TxnDataset, minSupport float64, parallelism int) (*LitsModel, error) {
+	return core.MineLitsP(d, minSupport, parallelism)
 }
 
 // BuildDTModel induces a dt-model from a classification dataset.
@@ -166,6 +194,11 @@ func DTGCRRegions(m1, m2 *DTModel) ([]GCRRegion, error) {
 // cluster-models over one grid.
 func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *Dataset, f DiffFunc, g AggFunc) (float64, error) {
 	return core.ClusterDeviation(m1, m2, d1, d2, f, g)
+}
+
+// ClusterDeviationWith is ClusterDeviation with options (parallelism).
+func ClusterDeviationWith(m1, m2 *ClusterModel, d1, d2 *Dataset, f DiffFunc, g AggFunc, opts ClusterOptions) (float64, error) {
+	return core.ClusterDeviationWith(m1, m2, d1, d2, f, g, opts)
 }
 
 // Qualification and monitoring (Sections 3.4 and 5.2).

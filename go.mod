@@ -1,0 +1,3 @@
+module focus
+
+go 1.24

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"focus/internal/parallel"
 	"focus/internal/txn"
 )
 
@@ -160,6 +161,16 @@ func (f *FrequentSet) sortLex() {
 // Mine runs Apriori over d at the given minimum support (fraction in (0,1])
 // and returns all frequent itemsets with their counts.
 func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
+	return MineP(d, minSupport, 1)
+}
+
+// MineP is Mine with a parallelism knob (0 = the process default, 1 = the
+// exact serial path): the per-pass support counting — the dense item
+// counters of pass 1 and the trie-based candidate counting of every later
+// pass — shards the transactions across workers and merges the integer
+// per-shard count vectors in shard order, so the mined frequent sets are
+// bit-identical to the serial miner for every worker count.
+func MineP(d *txn.Dataset, minSupport float64, parallelism int) (*FrequentSet, error) {
 	if minSupport <= 0 || minSupport > 1 {
 		return nil, fmt.Errorf("apriori: minimum support %v outside (0,1]", minSupport)
 	}
@@ -172,12 +183,29 @@ func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
 		minCount = 1
 	}
 
-	// Pass 1: frequent items via a dense counter.
+	// Pass 1: frequent items via dense per-shard counters.
 	itemCounts := make([]int, d.NumItems)
-	for _, t := range d.Txns {
-		for _, it := range t {
-			itemCounts[it]++
+	if parallel.Workers(parallelism) == 1 {
+		for _, t := range d.Txns {
+			for _, it := range t {
+				itemCounts[it]++
+			}
 		}
+	} else {
+		parallel.MapReduce(len(d.Txns), parallelism,
+			func() []int { return make([]int, d.NumItems) },
+			func(acc []int, c parallel.Chunk) {
+				for _, t := range d.Txns[c.Lo:c.Hi] {
+					for _, it := range t {
+						acc[it]++
+					}
+				}
+			},
+			func(acc []int) {
+				for i, v := range acc {
+					itemCounts[i] += v
+				}
+			})
 	}
 	var level []Itemset
 	var levelCounts []int
@@ -196,7 +224,7 @@ func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
 		if len(candidates) == 0 {
 			break
 		}
-		counts := CountItemsets(d, candidates)
+		counts := CountItemsetsP(d, candidates, parallelism)
 		var next []Itemset
 		var nextCounts []int
 		for i, c := range counts {

@@ -1,6 +1,7 @@
 package apriori
 
 import (
+	"focus/internal/parallel"
 	"focus/internal/txn"
 )
 
@@ -75,17 +76,42 @@ func (n *trieNode) countIn(t txn.Transaction, counts []int) {
 // computation FOCUS relies on when extending lits-models to their GCR
 // (Section 3.3.1).
 func CountItemsets(d *txn.Dataset, sets []Itemset) []int {
+	return CountItemsetsP(d, sets, 1)
+}
+
+// CountItemsetsP is CountItemsets with a parallelism knob (0 = the process
+// default, 1 = the exact serial path, n = n workers): the transactions are
+// sharded into contiguous chunks, each worker descends the shared read-only
+// trie into a private count vector, and the per-shard vectors are summed in
+// shard order. Counts are integers, so the merged result is bit-identical
+// to the serial scan for every worker count.
+func CountItemsetsP(d *txn.Dataset, sets []Itemset, parallelism int) []int {
 	counts := make([]int, len(sets))
-	if len(sets) == 0 {
+	if len(sets) == 0 || d.Len() == 0 {
 		return counts
 	}
 	root := newTrieNode()
 	for i, s := range sets {
 		root.insert(s, i)
 	}
-	for _, t := range d.Txns {
-		root.countIn(t, counts)
+	if parallel.Workers(parallelism) == 1 {
+		for _, t := range d.Txns {
+			root.countIn(t, counts)
+		}
+		return counts
 	}
+	parallel.MapReduce(len(d.Txns), parallelism,
+		func() []int { return make([]int, len(sets)) },
+		func(acc []int, c parallel.Chunk) {
+			for _, t := range d.Txns[c.Lo:c.Hi] {
+				root.countIn(t, acc)
+			}
+		},
+		func(acc []int) {
+			for i, v := range acc {
+				counts[i] += v
+			}
+		})
 	return counts
 }
 

@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"focus/internal/cluster"
 	"focus/internal/dataset"
+	"focus/internal/parallel"
 )
 
 // ClusterModel is a cluster-model (Section 2.4): the structural component is
@@ -30,41 +32,77 @@ func BuildClusterModel(d *dataset.Dataset, g *cluster.Grid, minDensity float64) 
 // NumClusters returns the number of regions in the structural component.
 func (m *ClusterModel) NumClusters() int { return m.M.NumClusters }
 
+// ClusterOptions tunes a cluster-model deviation computation.
+type ClusterOptions struct {
+	// Parallelism shards the two labeling scans across workers: 0 uses the
+	// process default (GOMAXPROCS unless overridden by a -parallelism
+	// flag), 1 forces the exact serial path, n >= 2 uses n workers. The
+	// deviation is bit-identical for every setting: per-shard integer
+	// label-pair counts are merged in shard order and the f/g reduction
+	// runs over the label pairs in sorted (c1, c2) order.
+	Parallelism int
+}
+
 // ClusterDeviation computes delta(f,g) between d1 and d2 through their
 // cluster-models m1 and m2, which must share one grid. The GCR regions are
 // the non-empty label pairs (c1, c2) of the overlay, excluding the pair
 // (Outside, Outside), which belongs to neither structural component —
 // cluster-model structural components are non-exhaustive (Section 2.4).
 func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc) (float64, error) {
+	return ClusterDeviationWith(m1, m2, d1, d2, f, g, ClusterOptions{})
+}
+
+// ClusterDeviationWith is ClusterDeviation with options.
+func ClusterDeviationWith(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc, opts ClusterOptions) (float64, error) {
 	if !m1.M.Grid.Equal(m2.M.Grid) {
 		return 0, errors.New("core: cluster-models over different grids have no cell-aligned GCR")
 	}
 	type key struct{ c1, c2 int }
-	idx := make(map[key]int)
-	var regions []MeasuredRegion
-	slot := func(c1, c2 int) int {
-		k := key{c1, c2}
-		i, ok := idx[k]
-		if !ok {
-			i = len(regions)
-			idx[k] = i
-			regions = append(regions, MeasuredRegion{})
-		}
-		return i
+	counts := make(map[key]*MeasuredRegion)
+	scan := func(d *dataset.Dataset, second bool) {
+		parallel.MapReduce(len(d.Tuples), opts.Parallelism,
+			func() map[key]float64 { return make(map[key]float64) },
+			func(acc map[key]float64, ch parallel.Chunk) {
+				for _, t := range d.Tuples[ch.Lo:ch.Hi] {
+					c1, c2 := m1.M.ClusterOf(t), m2.M.ClusterOf(t)
+					if c1 == cluster.Outside && c2 == cluster.Outside {
+						continue
+					}
+					acc[key{c1, c2}]++
+				}
+			},
+			func(acc map[key]float64) {
+				for k, v := range acc {
+					r, ok := counts[k]
+					if !ok {
+						r = &MeasuredRegion{}
+						counts[k] = r
+					}
+					if second {
+						r.Alpha2 += v
+					} else {
+						r.Alpha1 += v
+					}
+				}
+			})
 	}
-	for _, t := range d1.Tuples {
-		c1, c2 := m1.M.ClusterOf(t), m2.M.ClusterOf(t)
-		if c1 == cluster.Outside && c2 == cluster.Outside {
-			continue
-		}
-		regions[slot(c1, c2)].Alpha1++
+	scan(d1, false)
+	scan(d2, true)
+	// Aggregate over the label pairs in sorted order so the float64
+	// reduction is independent of map iteration and encounter order.
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
 	}
-	for _, t := range d2.Tuples {
-		c1, c2 := m1.M.ClusterOf(t), m2.M.ClusterOf(t)
-		if c1 == cluster.Outside && c2 == cluster.Outside {
-			continue
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].c1 != keys[j].c1 {
+			return keys[i].c1 < keys[j].c1
 		}
-		regions[slot(c1, c2)].Alpha2++
+		return keys[i].c2 < keys[j].c2
+	})
+	regions := make([]MeasuredRegion, len(keys))
+	for i, k := range keys {
+		regions[i] = *counts[k]
 	}
 	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"focus/internal/dataset"
 	"focus/internal/dtree"
+	"focus/internal/parallel"
 	"focus/internal/region"
 )
 
@@ -75,6 +76,14 @@ type DTOptions struct {
 	// tuples inside it are counted. The box may constrain the class
 	// attribute as well, focussing on the regions of particular classes.
 	Focus *region.Box
+
+	// Parallelism shards the two routing scans across workers: 0 uses the
+	// process default (GOMAXPROCS unless overridden by a -parallelism
+	// flag), 1 forces the exact serial path, n >= 2 uses n workers. The
+	// deviation is bit-identical for every setting: per-shard integer
+	// region counts are merged in shard order and the f/g reduction stays
+	// serial over the fixed GCR region order.
+	Parallelism int
 }
 
 // DTDeviation computes delta(f,g) between the datasets d1 and d2 through
@@ -115,29 +124,52 @@ func DTDeviation(m1, m2 *DTModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc
 	inFocus := func(t dataset.Tuple) bool {
 		return opts.Focus == nil || opts.Focus.Contains(t)
 	}
-	for _, t := range d1.Tuples {
-		if !inFocus(t) {
-			continue
-		}
-		c := t.Class(d1.Schema)
-		if c >= k {
-			return 0, fmt.Errorf("core: tuple class %d outside model's %d classes", c, k)
-		}
-		if i, ok := idx[key{m1.Tree.LeafID(t), m2.Tree.LeafID(t), c}]; ok {
-			regions[i].Alpha1++
-		}
+	// Route each dataset down both trees with the tuples sharded across
+	// workers. Shards accumulate integer counts into private vectors that
+	// are merged in shard order, so the measures — and therefore the
+	// deviation — are bit-identical to the serial scan.
+	type shardAcc struct {
+		counts []float64
+		err    error
 	}
-	for _, t := range d2.Tuples {
-		if !inFocus(t) {
-			continue
-		}
-		c := t.Class(d2.Schema)
-		if c >= k {
-			return 0, fmt.Errorf("core: tuple class %d outside model's %d classes", c, k)
-		}
-		if i, ok := idx[key{m1.Tree.LeafID(t), m2.Tree.LeafID(t), c}]; ok {
-			regions[i].Alpha2++
-		}
+	scan := func(d *dataset.Dataset, second bool) error {
+		var scanErr error
+		parallel.MapReduce(len(d.Tuples), opts.Parallelism,
+			func() *shardAcc { return &shardAcc{counts: make([]float64, len(regions))} },
+			func(acc *shardAcc, ch parallel.Chunk) {
+				for _, t := range d.Tuples[ch.Lo:ch.Hi] {
+					if !inFocus(t) {
+						continue
+					}
+					c := t.Class(d.Schema)
+					if c >= k {
+						acc.err = fmt.Errorf("core: tuple class %d outside model's %d classes", c, k)
+						return
+					}
+					if i, ok := idx[key{m1.Tree.LeafID(t), m2.Tree.LeafID(t), c}]; ok {
+						acc.counts[i]++
+					}
+				}
+			},
+			func(acc *shardAcc) {
+				if acc.err != nil && scanErr == nil {
+					scanErr = acc.err
+				}
+				for i, v := range acc.counts {
+					if second {
+						regions[i].Alpha2 += v
+					} else {
+						regions[i].Alpha1 += v
+					}
+				}
+			})
+		return scanErr
+	}
+	if err := scan(d1, false); err != nil {
+		return 0, err
+	}
+	if err := scan(d2, true); err != nil {
+		return 0, err
 	}
 	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
 }

@@ -21,7 +21,15 @@ type LitsModel struct {
 
 // MineLits induces the lits-model of d at the given minimum support.
 func MineLits(d *txn.Dataset, minSupport float64) (*LitsModel, error) {
-	fs, err := apriori.Mine(d, minSupport)
+	return MineLitsP(d, minSupport, 1)
+}
+
+// MineLitsP is MineLits with a parallelism knob (0 = the process default,
+// 1 = the exact serial path): Apriori's per-pass support counting is
+// sharded across workers with a deterministic shard-order merge, so the
+// model is bit-identical to the serial miner for every worker count.
+func MineLitsP(d *txn.Dataset, minSupport float64, parallelism int) (*LitsModel, error) {
+	fs, err := apriori.MineP(d, minSupport, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +72,14 @@ type LitsOptions struct {
 	// the frequent-itemset domain (e.g. "itemsets over the shoe
 	// department's items").
 	Focus func(apriori.Itemset) bool
+
+	// Parallelism shards the two dataset scans across workers: 0 uses the
+	// process default (GOMAXPROCS unless overridden by a -parallelism
+	// flag), 1 forces the exact serial path, n >= 2 uses n workers. The
+	// deviation is bit-identical for every setting: per-shard integer
+	// count vectors are merged in shard order and the f/g reduction stays
+	// serial over the fixed GCR itemset order.
+	Parallelism int
 }
 
 // LitsDeviation computes delta(f,g) between the datasets d1 and d2 through
@@ -84,8 +100,8 @@ func LitsDeviation(m1, m2 *LitsModel, d1, d2 *txn.Dataset, f DiffFunc, g AggFunc
 		}
 		gcr = kept
 	}
-	c1 := apriori.CountItemsets(d1, gcr)
-	c2 := apriori.CountItemsets(d2, gcr)
+	c1 := apriori.CountItemsetsP(d1, gcr, opts.Parallelism)
+	c2 := apriori.CountItemsetsP(d2, gcr, opts.Parallelism)
 	regions := make([]MeasuredRegion, len(gcr))
 	for i := range gcr {
 		regions[i] = MeasuredRegion{Alpha1: float64(c1[i]), Alpha2: float64(c2[i])}

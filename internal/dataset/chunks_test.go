@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func chunkTestData(n int, seed int64) *Dataset {
+	s := NewSchema(
+		Attribute{Name: "x", Kind: Numeric, Min: 0, Max: 1},
+		Attribute{Name: "y", Kind: Numeric, Min: 0, Max: 1},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	d := New(s)
+	for i := 0; i < n; i++ {
+		d.Add(Tuple{rng.Float64(), rng.Float64()})
+	}
+	return d
+}
+
+func TestDatasetChunksReassemble(t *testing.T) {
+	d := chunkTestData(97, 90)
+	for _, n := range []int{1, 2, 3, 8, 500} {
+		chunks := d.Chunks(n)
+		total := 0
+		for _, c := range chunks {
+			if c.Schema != d.Schema {
+				t.Fatal("chunk schema not shared")
+			}
+			for _, tup := range c.Tuples {
+				if &tup[0] != &d.Tuples[total][0] {
+					t.Fatalf("chunk tuple %d does not share storage", total)
+				}
+				total++
+			}
+		}
+		if total != d.Len() {
+			t.Fatalf("Chunks(%d) holds %d tuples, want %d", n, total, d.Len())
+		}
+	}
+}
+
+func TestDatasetCountPMatchesCount(t *testing.T) {
+	d := chunkTestData(643, 91)
+	pred := func(tu Tuple) bool { return tu[0]+tu[1] > 1 }
+	want := d.Count(pred)
+	for _, p := range []int{1, 2, 4, 0} {
+		if got := d.CountP(pred, p); got != want {
+			t.Fatalf("CountP(parallelism %d) = %d, Count = %d", p, got, want)
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"focus/internal/parallel"
 )
 
 // Kind distinguishes numeric (ordered, continuous) attributes from
@@ -285,4 +287,35 @@ func (d *Dataset) Count(pred func(Tuple) bool) int {
 		}
 	}
 	return n
+}
+
+// CountP is Count with a parallelism knob (0 = the process default, 1 = the
+// exact serial path): tuples are sharded across workers and the integer
+// per-shard counts are summed in shard order, so the result is identical to
+// Count for every worker count. pred must be safe for concurrent use.
+func (d *Dataset) CountP(pred func(Tuple) bool, parallelism int) int {
+	n := 0
+	parallel.MapReduce(len(d.Tuples), parallelism,
+		func() *int { return new(int) },
+		func(acc *int, c parallel.Chunk) {
+			for _, t := range d.Tuples[c.Lo:c.Hi] {
+				if pred(t) {
+					*acc++
+				}
+			}
+		},
+		func(acc *int) { n += *acc })
+	return n
+}
+
+// Chunks splits the dataset into at most n contiguous sub-datasets sharing
+// tuple storage with d — the inverse of Concat, used to shard scans across
+// workers. Concatenating the chunks in order reproduces d.
+func (d *Dataset) Chunks(n int) []*Dataset {
+	chunks := parallel.Chunks(len(d.Tuples), n)
+	out := make([]*Dataset, len(chunks))
+	for i, c := range chunks {
+		out[i] = &Dataset{Schema: d.Schema, Tuples: d.Tuples[c.Lo:c.Hi:c.Hi]}
+	}
+	return out
 }

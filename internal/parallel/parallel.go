@@ -1,0 +1,146 @@
+// Package parallel provides the chunked worker-pool substrate of the
+// deviation pipeline: dataset scans are sharded into contiguous chunks,
+// each worker accumulates into private state, and the per-shard states are
+// merged in ascending shard order.
+//
+// The merge discipline is what makes parallel deviations bit-identical to
+// the serial path. Every hot scan (Apriori support counting, GCR region
+// measurement) accumulates integer tuple counts, whose float64 sums are
+// exact, and the final f/g reduction over regions stays serial in a fixed
+// region order — so the result is independent of the worker count. This
+// mirrors the seeded-RNG-per-replicate pattern of stats.NullDistribution,
+// where determinism likewise comes from keying work to its index rather
+// than to its scheduling.
+//
+// A Parallelism knob of 0 selects the process default (GOMAXPROCS unless
+// overridden by SetDefault, e.g. from a CLI -parallelism flag); 1 selects
+// the exact serial path (no goroutines); n >= 2 selects n workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the worker count selected by a Parallelism knob of
+// 0; non-positive means "use GOMAXPROCS at resolution time".
+var defaultWorkers atomic.Int64
+
+// SetDefault fixes the worker count used when a Parallelism knob is 0.
+// Passing n <= 0 restores the built-in default (GOMAXPROCS). It is safe
+// for concurrent use, though it is intended for process setup (flag
+// parsing in the CLIs).
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Default returns the worker count a Parallelism knob of 0 resolves to.
+func Default() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers resolves a Parallelism knob to a concrete worker count:
+// 0 means Default(), anything >= 1 means exactly that many workers.
+func Workers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	return Default()
+}
+
+// Chunk is a half-open index range [Lo, Hi) of one shard.
+type Chunk struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indexes in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// Chunks splits [0, n) into at most workers contiguous, near-equal chunks
+// covering every index exactly once. Fewer than workers chunks are
+// returned when n < workers; nil is returned when n <= 0. The split
+// depends only on (n, workers), never on scheduling.
+func Chunks(n, workers int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]Chunk, workers)
+	lo := 0
+	for i := range out {
+		hi := lo + (n-lo)/(workers-i)
+		out[i] = Chunk{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}
+
+// Do partitions [0, n) into chunks for Workers(parallelism) workers and
+// runs body once per chunk, waiting for all of them. With a single chunk,
+// body runs inline on the calling goroutine — the exact serial path.
+// body receives its shard index and chunk; shards must not share mutable
+// state unless body writes only to shard-indexed slots.
+func Do(n, parallelism int, body func(shard int, c Chunk)) {
+	chunks := Chunks(n, Workers(parallelism))
+	if len(chunks) == 1 {
+		body(0, chunks[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(i, c)
+		}()
+	}
+	wg.Wait()
+}
+
+// MapReduce is the deterministic shard-accumulate-reduce pattern: it
+// partitions [0, n) into chunks, gives each shard a private accumulator
+// from newAcc, runs body concurrently, and then — after all shards have
+// finished — calls merge once per shard in ascending shard order on the
+// calling goroutine. With a single chunk everything runs inline.
+//
+// Ordered merging keeps floating-point reductions reproducible for a given
+// worker count, and accumulators holding integer counts merge exactly, so
+// results are identical for every worker count including the serial path.
+func MapReduce[A any](n, parallelism int, newAcc func() A, body func(acc A, c Chunk), merge func(acc A)) {
+	chunks := Chunks(n, Workers(parallelism))
+	if len(chunks) == 0 {
+		return
+	}
+	if len(chunks) == 1 {
+		acc := newAcc()
+		body(acc, chunks[0])
+		merge(acc)
+		return
+	}
+	accs := make([]A, len(chunks))
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			accs[i] = newAcc()
+			body(accs[i], c)
+		}()
+	}
+	wg.Wait()
+	for _, acc := range accs {
+		merge(acc)
+	}
+}

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 10, 100, 1001} {
+		for _, w := range []int{1, 2, 3, 4, 7, 16, 200} {
+			chunks := Chunks(n, w)
+			if n <= 0 {
+				if chunks != nil {
+					t.Fatalf("Chunks(%d,%d) = %v, want nil", n, w, chunks)
+				}
+				continue
+			}
+			want := w
+			if want > n {
+				want = n
+			}
+			if len(chunks) != want {
+				t.Fatalf("Chunks(%d,%d) has %d chunks, want %d", n, w, len(chunks), want)
+			}
+			next := 0
+			for i, c := range chunks {
+				if c.Lo != next {
+					t.Fatalf("Chunks(%d,%d)[%d].Lo = %d, want %d", n, w, i, c.Lo, next)
+				}
+				if c.Len() < 1 {
+					t.Fatalf("Chunks(%d,%d)[%d] is empty", n, w, i)
+				}
+				next = c.Hi
+			}
+			if next != n {
+				t.Fatalf("Chunks(%d,%d) covers [0,%d), want [0,%d)", n, w, next, n)
+			}
+		}
+	}
+}
+
+func TestChunksBalanced(t *testing.T) {
+	chunks := Chunks(10, 3)
+	min, max := chunks[0].Len(), chunks[0].Len()
+	for _, c := range chunks {
+		if l := c.Len(); l < min {
+			min = l
+		} else if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("Chunks(10,3) sizes spread %d..%d, want near-equal", min, max)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d, want 3", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefault(5)
+	defer SetDefault(0)
+	if got := Workers(0); got != 5 {
+		t.Fatalf("Workers(0) after SetDefault(5) = %d, want 5", got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Fatalf("Workers(2) after SetDefault(5) = %d, want 2", got)
+	}
+	SetDefault(0)
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) after SetDefault(0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestDoVisitsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		const n = 257
+		visits := make([]int32, n)
+		Do(n, p, func(shard int, c Chunk) {
+			for i := c.Lo; i < c.Hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("parallelism %d: index %d visited %d times", p, i, v)
+			}
+		}
+	}
+}
+
+func TestMapReduceDeterministicMergeOrder(t *testing.T) {
+	// Accumulators carry their shard's chunk; the merge order must be
+	// ascending shard order regardless of scheduling.
+	const n = 100
+	for _, p := range []int{1, 2, 4, 7} {
+		var merged []Chunk
+		MapReduce(n, p,
+			func() *Chunk { return &Chunk{} },
+			func(acc *Chunk, c Chunk) { *acc = c },
+			func(acc *Chunk) { merged = append(merged, *acc) },
+		)
+		want := Chunks(n, p)
+		if len(merged) != len(want) {
+			t.Fatalf("parallelism %d: merged %d shards, want %d", p, len(merged), len(want))
+		}
+		for i := range want {
+			if merged[i] != want[i] {
+				t.Fatalf("parallelism %d: merge order %v, want %v", p, merged, want)
+			}
+		}
+	}
+}
+
+func TestMapReduceCountsExactly(t *testing.T) {
+	const n = 12345
+	for _, p := range []int{1, 2, 5, 16} {
+		total := 0
+		MapReduce(n, p,
+			func() *int { return new(int) },
+			func(acc *int, c Chunk) { *acc += c.Len() },
+			func(acc *int) { total += *acc },
+		)
+		if total != n {
+			t.Fatalf("parallelism %d: counted %d, want %d", p, total, n)
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	called := false
+	MapReduce(0, 4,
+		func() *int { called = true; return new(int) },
+		func(acc *int, c Chunk) { called = true },
+		func(acc *int) { called = true },
+	)
+	if called {
+		t.Fatal("MapReduce(0, ...) invoked a callback")
+	}
+}

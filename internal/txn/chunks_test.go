@@ -1,0 +1,58 @@
+package txn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomChunkDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := New(50)
+	for i := 0; i < n; i++ {
+		t := make(Transaction, 1+rng.Intn(6))
+		for j := range t {
+			t[j] = Item(rng.Intn(50))
+		}
+		d.Add(t.Normalize())
+	}
+	return d
+}
+
+func TestChunksReassembleToDataset(t *testing.T) {
+	d := randomChunkDataset(103, 80)
+	for _, n := range []int{1, 2, 4, 7, 200} {
+		chunks := d.Chunks(n)
+		total := 0
+		for _, c := range chunks {
+			if c.NumItems != d.NumItems {
+				t.Fatalf("chunk universe %d, want %d", c.NumItems, d.NumItems)
+			}
+			for _, tx := range c.Txns {
+				if len(tx) != len(d.Txns[total]) {
+					t.Fatalf("chunk transaction %d differs from original", total)
+				}
+				total++
+			}
+		}
+		if total != d.Len() {
+			t.Fatalf("Chunks(%d) holds %d transactions, want %d", n, total, d.Len())
+		}
+	}
+	if got := New(10).Chunks(4); len(got) != 0 {
+		t.Fatalf("empty dataset chunks = %d, want 0", len(got))
+	}
+}
+
+func TestCountPMatchesCount(t *testing.T) {
+	d := randomChunkDataset(501, 81)
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 20; trial++ {
+		s := Transaction{Item(rng.Intn(50)), Item(rng.Intn(50))}.Normalize()
+		want := d.Count(s)
+		for _, p := range []int{1, 2, 5, 0} {
+			if got := d.CountP(s, p); got != want {
+				t.Fatalf("CountP(%v, %d) = %d, Count = %d", s, p, got, want)
+			}
+		}
+	}
+}

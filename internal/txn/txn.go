@@ -15,6 +15,8 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+
+	"focus/internal/parallel"
 )
 
 // Item identifies one item of the universe I; items are dense integers in
@@ -124,6 +126,18 @@ func (d *Dataset) Concat(o *Dataset) (*Dataset, error) {
 	return out, nil
 }
 
+// Chunks splits the dataset into at most n contiguous sub-datasets sharing
+// transaction storage with d — the inverse of Concat, used to shard scans
+// across workers. Concatenating the chunks in order reproduces d.
+func (d *Dataset) Chunks(n int) []*Dataset {
+	chunks := parallel.Chunks(len(d.Txns), n)
+	out := make([]*Dataset, len(chunks))
+	for i, c := range chunks {
+		out[i] = &Dataset{NumItems: d.NumItems, Txns: d.Txns[c.Lo:c.Hi:c.Hi]}
+	}
+	return out
+}
+
 // Support returns the support of the sorted itemset s: the fraction of
 // transactions containing every item of s (the region's measure in FOCUS
 // terms). It returns 0 for an empty dataset.
@@ -143,6 +157,25 @@ func (d *Dataset) Count(s []Item) int {
 			n++
 		}
 	}
+	return n
+}
+
+// CountP is Count with a parallelism knob (0 = the process default, 1 = the
+// exact serial path): transactions are sharded across workers and the
+// integer per-shard counts are summed in shard order, so the result is
+// identical to Count for every worker count.
+func (d *Dataset) CountP(s []Item, parallelism int) int {
+	n := 0
+	parallel.MapReduce(len(d.Txns), parallelism,
+		func() *int { return new(int) },
+		func(acc *int, c parallel.Chunk) {
+			for _, t := range d.Txns[c.Lo:c.Hi] {
+				if t.ContainsAll(s) {
+					*acc++
+				}
+			}
+		},
+		func(acc *int) { n += *acc })
 	return n
 }
 
