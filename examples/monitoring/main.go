@@ -1,19 +1,17 @@
-// Monitoring: the change-monitoring scenario of Section 5.2. A classifier
-// was trained on last quarter's data; as new data arrives, the analyst asks
-// "by how much does the old model misrepresent the new data?" — answered
-// three ways, all inside the FOCUS framework:
+// Monitoring: the change-monitoring scenario of Section 5.2 run
+// continuously. A classifier was trained on last quarter's data; new data
+// arrives in daily batches. A focus.Monitor keeps a sliding window of the
+// most recent batches, maintains the window's measures incrementally
+// (each advance subtracts the expired batch's summary and adds the new
+// one — no rescans), and after every batch emits the FOCUS deviation of
+// the window against the pinned reference model, bootstrap-qualifies it,
+// and raises an alert when it crosses a threshold.
 //
-//  1. the misclassification error, which is exactly half the FOCUS
-//     deviation between the new data and its predicted version (Theorem 5.2);
+// The stream below carries an injected drift: days 0-3 come from the
+// training process (F1), day 4 onward from a changed process (F6, then
+// F3). The monitor's deviation jumps and the alert callback fires.
 //
-//  2. the chi-squared goodness-of-fit statistic over the tree's regions
-//     (Proposition 5.1);
-//
-//  3. the bootstrap test of Section 5.2.2, which replaces the textbook
-//     chi-squared table (whose preconditions fail on tree cells) with an
-//     exact null distribution.
-//
-//     go run ./examples/monitoring
+//	go run ./examples/monitoring
 package main
 
 import (
@@ -35,43 +33,55 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree := model.Tree
-	fmt.Printf("trained dt-model on %d tuples: %d leaves\n\n", old.Len(), tree.NumLeaves())
+	fmt.Printf("trained dt-model on %d tuples: %d leaves\n\n", old.Len(), model.Tree.NumLeaves())
 
-	batches := []struct {
-		name string
+	mon, err := focus.NewDTMonitor(model.Tree, old, focus.MonitorOptions{
+		WindowBatches: 3,    // sliding window over the last three days
+		Threshold:     0.15, // alert when delta(fa,sum) reaches this
+		Qualify:       true, // bootstrap sig(delta) for every report
+		Replicates:    49,
+		Seed:          42,
+		OnAlert: func(r focus.MonitorReport) {
+			fmt.Printf("  >>> ALERT day %d: deviation %.4f crossed the threshold\n",
+				r.Epoch, r.Deviation)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	days := []struct {
 		fn   classgen.Function
-		seed int64
+		note string
 	}{
-		{"batch A: same process (F1)", classgen.F1, 7},
-		{"batch B: drifted process (F6: commissions now count)", classgen.F6, 8},
-		{"batch C: new process (F3: education matters)", classgen.F3, 9},
+		{classgen.F1, "same process"},
+		{classgen.F1, "same process"},
+		{classgen.F1, "same process"},
+		{classgen.F1, "same process"},
+		{classgen.F6, "drift injected: commissions now count"},
+		{classgen.F6, "drift continues"},
+		{classgen.F3, "new process: education matters"},
 	}
-	for _, b := range batches {
-		batch, err := classgen.Generate(classgen.Config{NumTuples: 5000, Function: b.fn, Seed: b.seed})
+	for day, b := range days {
+		batch, err := classgen.Generate(classgen.Config{NumTuples: 5000, Function: b.fn, Seed: 100 + int64(day)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		me, err := focus.MisclassificationViaFOCUS(tree, batch)
+		rep, err := mon.IngestEpoch(int64(day), batch.Tuples)
 		if err != nil {
 			log.Fatal(err)
 		}
-		x2, err := focus.ChiSquared(tree, old, batch, 0.5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		test, err := focus.ChiSquaredBootstrapTest(tree, treeCfg, old, batch, 0.5, 99, 42)
-		if err != nil {
-			log.Fatal(err)
-		}
-		verdict := "fits the old model"
-		if test.PValue < 0.05 {
-			verdict = "DOES NOT fit the old model"
-		}
-		fmt.Printf("%s\n", b.name)
-		fmt.Printf("  misclassification error (via FOCUS, Thm 5.2): %.4f\n", me)
-		fmt.Printf("  chi-squared over tree cells (Prop 5.1):       %.1f\n", x2)
-		fmt.Printf("  bootstrap p-value (%d cells):                 %.3f -> %s\n\n",
-			test.DFApprox+1, test.PValue, verdict)
+		fmt.Printf("day %d (%s)\n", day, b.note)
+		fmt.Printf("  window: %d batches, %d tuples vs reference %d tuples over %d cells\n",
+			rep.Batches, rep.N, rep.RefN, rep.Regions)
+		fmt.Printf("  deviation delta(fa,sum) = %.4f   sig(delta) = %.1f%%\n",
+			rep.Deviation, rep.Qual.Significance)
 	}
+
+	last := mon.Last()
+	if last == nil || !last.Alert {
+		log.Fatal("monitoring example ended without an alert on the drifted stream")
+	}
+	fmt.Printf("\n%d reports emitted; final deviation %.4f (alerting)\n",
+		mon.Reports(), last.Deviation)
 }

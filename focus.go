@@ -45,6 +45,14 @@
 // process default (GOMAXPROCS, overridable via SetParallelism or the CLIs'
 // -parallelism flag), 1 forces the exact serial path, n >= 2 uses n
 // workers.
+//
+// The monitoring regime runs continuously through the streaming monitors
+// (NewLitsMonitor, NewDTMonitor, NewClusterMonitor): batches enter a
+// sliding or tumbling window whose model is maintained incrementally from
+// mergeable per-batch count summaries, and every window advance emits the
+// deviation against a pinned reference (or the previous window) —
+// bit-identical to rebuilding the window's model from scratch — with
+// optional threshold alerts and bootstrap qualification.
 package focus
 
 import (
@@ -55,6 +63,7 @@ import (
 	"focus/internal/dtree"
 	"focus/internal/parallel"
 	"focus/internal/region"
+	"focus/internal/stream"
 	"focus/internal/txn"
 )
 
@@ -279,6 +288,57 @@ func RankItemsets(sets []Itemset, d1, d2 *TxnDataset, f DiffFunc) []RankedItemse
 // TopItemsets selects the first n ranked itemsets.
 func TopItemsets(ranked []RankedItemset, n int) []RankedItemset {
 	return core.TopItemsets(ranked, n)
+}
+
+// Streaming monitors (the monitoring regime of Section 5.2 run
+// continuously over a stream of batches).
+type (
+	// Monitor is an incremental windowed deviation monitor over batches
+	// of B (transactions for lits-models, tuples for dt- and
+	// cluster-models). Batches enter a sliding or tumbling window whose
+	// model is maintained incrementally from mergeable per-batch
+	// summaries — window advance subtracts the expired batch and adds the
+	// new one instead of rescanning — and every advance emits the
+	// deviation of the window against a pinned reference model (or the
+	// previous window), bit-identical to rebuilding the window's model
+	// from scratch.
+	Monitor[B any] = stream.Monitor[B]
+	// MonitorOptions configures a Monitor (window policy, f/g, threshold
+	// alerts, bootstrap qualification, parallelism).
+	MonitorOptions = stream.Options
+	// MonitorReport is one emission of a Monitor.
+	MonitorReport = stream.Report
+	// LitsMonitor monitors transaction batches through lits-models.
+	LitsMonitor = stream.LitsMonitor
+	// DTMonitor monitors tuple batches through the cells of a pinned
+	// decision tree (Section 5.2).
+	DTMonitor = stream.DTMonitor
+	// ClusterMonitor monitors tuple batches through grid-based
+	// cluster-models.
+	ClusterMonitor = stream.ClusterMonitor
+)
+
+// NewLitsMonitor creates a monitor that mines a lits-model at minSupport
+// over each window of transaction batches and emits its deviation from the
+// reference model mined over ref.
+func NewLitsMonitor(ref *TxnDataset, minSupport float64, opts MonitorOptions) (*LitsMonitor, error) {
+	return stream.NewLitsMonitor(ref, minSupport, opts)
+}
+
+// NewDTMonitor creates a monitor that measures every window of tuple
+// batches over the pinned tree's leaf-by-class cells and emits its
+// deviation from the reference measures (ref may be nil with
+// MonitorOptions.PreviousWindow).
+func NewDTMonitor(tree *Tree, ref *Dataset, opts MonitorOptions) (*DTMonitor, error) {
+	return stream.NewDTMonitor(tree, ref, opts)
+}
+
+// NewClusterMonitor creates a monitor that re-induces a cluster-model over
+// g at minDensity from every window's aggregated cell counts and emits its
+// deviation from the reference model (ref may be nil with
+// MonitorOptions.PreviousWindow).
+func NewClusterMonitor(g *Grid, minDensity float64, ref *Dataset, opts MonitorOptions) (*ClusterMonitor, error) {
+	return stream.NewClusterMonitor(g, minDensity, ref, opts)
 }
 
 // UpperBoundMatrix returns pairwise delta*(g) distances over a collection of

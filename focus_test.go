@@ -291,3 +291,90 @@ func TestFacadeTransactionTypes(t *testing.T) {
 		t.Error("sampling through alias broken")
 	}
 }
+
+func TestFacadeMonitorWorkflow(t *testing.T) {
+	// A downstream user's monitoring loop: pin a model on last quarter's
+	// data, stream batches through a sliding window, alert on drift.
+	old, err := classgen.Generate(classgen.Config{NumTuples: 4000, Function: classgen.F1, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := focus.BuildDTModel(old, focus.TreeConfig{MaxDepth: 6, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := 0
+	mon, err := focus.NewDTMonitor(model.Tree, old, focus.MonitorOptions{
+		WindowBatches: 2,
+		Threshold:     0.2,
+		OnAlert:       func(focus.MonitorReport) { alerts++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The class-specific monitor satisfies the generic facade alias.
+	var generic *focus.Monitor[focus.Tuple] = mon
+	var last *focus.MonitorReport
+	for i, fn := range []classgen.Function{classgen.F1, classgen.F1, classgen.F3} {
+		batch, err := classgen.Generate(classgen.Config{NumTuples: 800, Function: fn, Seed: 71 + int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last, err = generic.Ingest(batch.Tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last == nil || !last.Alert || alerts == 0 {
+		t.Fatalf("drift batch did not alert: %+v (alerts=%d)", last, alerts)
+	}
+	if mon.Reports() != 3 || mon.Last().Seq != 2 {
+		t.Errorf("Reports=%d Last.Seq=%d", mon.Reports(), mon.Last().Seq)
+	}
+
+	// Lits and cluster monitors through the facade.
+	d1, d2, d3 := facadeTxnData(t)
+	lm, err := focus.NewLitsMonitor(d1, 0.03, focus.MonitorOptions{WindowBatches: 1, Qualify: true, Replicates: 19, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSame, err := lm.Ingest(d2.Txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repChanged, err := lm.Ingest(d3.Txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSame.Deviation >= repChanged.Deviation {
+		t.Errorf("lits monitor: same-process deviation %v >= changed %v", repSame.Deviation, repChanged.Deviation)
+	}
+	if repSame.Qual == nil || repChanged.Qual == nil {
+		t.Fatal("qualification missing from lits monitor reports")
+	}
+	if repSame.Qual.Significance >= repChanged.Qual.Significance {
+		t.Errorf("lits monitor: same-process significance %v >= changed %v",
+			repSame.Qual.Significance, repChanged.Qual.Significance)
+	}
+
+	schema := classgen.Schema()
+	grid, err := focus.NewGrid(schema, []int{classgen.AttrSalary, classgen.AttrAge}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := focus.NewClusterMonitor(grid, 0.02, old, focus.MonitorOptions{WindowBatches: 2, F: focus.ScaledDiff, G: focus.Max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := classgen.Generate(classgen.Config{NumTuples: 900, Function: classgen.F1, Seed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cm.Ingest(batch.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Deviation < 0 {
+		t.Fatalf("cluster monitor report: %+v", rep)
+	}
+}

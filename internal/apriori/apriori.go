@@ -158,6 +158,66 @@ func (f *FrequentSet) sortLex() {
 	f.index = nil
 }
 
+// Source abstracts the dataset access Apriori needs: the pass-1 per-item
+// counts and the support counts of an arbitrary candidate collection. A
+// *txn.Dataset is the obvious source (datasetSource); a windowed monitor
+// supplies a source that sums cached per-batch counts instead of rescanning
+// (internal/stream). Since Apriori's control flow depends only on the
+// integer counts a source returns, two sources returning equal counts mine
+// bit-identical frequent sets.
+type Source interface {
+	// NumTxns returns |D|, the number of transactions.
+	NumTxns() int
+	// NumItems returns the size of the item universe.
+	NumItems() int
+	// ItemCounts returns the absolute per-item support counts (length
+	// NumItems) — Apriori's first pass.
+	ItemCounts() []int
+	// Count returns, for each itemset in sets, the absolute number of
+	// transactions containing it.
+	Count(sets []Itemset) []int
+}
+
+// datasetSource adapts a *txn.Dataset (with a parallelism knob) to Source.
+type datasetSource struct {
+	d           *txn.Dataset
+	parallelism int
+}
+
+func (s datasetSource) NumTxns() int  { return s.d.Len() }
+func (s datasetSource) NumItems() int { return s.d.NumItems }
+
+func (s datasetSource) ItemCounts() []int {
+	itemCounts := make([]int, s.d.NumItems)
+	if parallel.Workers(s.parallelism) == 1 {
+		for _, t := range s.d.Txns {
+			for _, it := range t {
+				itemCounts[it]++
+			}
+		}
+		return itemCounts
+	}
+	parallel.MapReduce(len(s.d.Txns), s.parallelism,
+		func() []int { return make([]int, s.d.NumItems) },
+		func(acc []int, c parallel.Chunk) {
+			for _, t := range s.d.Txns[c.Lo:c.Hi] {
+				for _, it := range t {
+					acc[it]++
+				}
+			}
+		},
+		func(acc []int) {
+			for i, v := range acc {
+				itemCounts[i] += v
+			}
+		})
+	return itemCounts
+}
+
+func (s datasetSource) Count(sets []Itemset) []int {
+	return CountItemsetsP(s.d, sets, s.parallelism)
+}
+
 // Mine runs Apriori over d at the given minimum support (fraction in (0,1])
 // and returns all frequent itemsets with their counts.
 func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
@@ -171,42 +231,27 @@ func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
 // per-shard count vectors in shard order, so the mined frequent sets are
 // bit-identical to the serial miner for every worker count.
 func MineP(d *txn.Dataset, minSupport float64, parallelism int) (*FrequentSet, error) {
+	return MineFrom(datasetSource{d: d, parallelism: parallelism}, minSupport)
+}
+
+// MineFrom runs Apriori against an arbitrary count source. The mined set is
+// a pure function of the counts the source returns, so a source that merges
+// cached per-batch counts yields exactly the model a full rescan would.
+func MineFrom(src Source, minSupport float64) (*FrequentSet, error) {
 	if minSupport <= 0 || minSupport > 1 {
 		return nil, fmt.Errorf("apriori: minimum support %v outside (0,1]", minSupport)
 	}
-	out := &FrequentSet{MinSupport: minSupport, N: d.Len()}
-	if d.Len() == 0 {
+	out := &FrequentSet{MinSupport: minSupport, N: src.NumTxns()}
+	if src.NumTxns() == 0 {
 		return out, nil
 	}
-	minCount := int(minSupport*float64(d.Len()) + 0.999999)
+	minCount := int(minSupport*float64(src.NumTxns()) + 0.999999)
 	if minCount < 1 {
 		minCount = 1
 	}
 
-	// Pass 1: frequent items via dense per-shard counters.
-	itemCounts := make([]int, d.NumItems)
-	if parallel.Workers(parallelism) == 1 {
-		for _, t := range d.Txns {
-			for _, it := range t {
-				itemCounts[it]++
-			}
-		}
-	} else {
-		parallel.MapReduce(len(d.Txns), parallelism,
-			func() []int { return make([]int, d.NumItems) },
-			func(acc []int, c parallel.Chunk) {
-				for _, t := range d.Txns[c.Lo:c.Hi] {
-					for _, it := range t {
-						acc[it]++
-					}
-				}
-			},
-			func(acc []int) {
-				for i, v := range acc {
-					itemCounts[i] += v
-				}
-			})
-	}
+	// Pass 1: frequent items.
+	itemCounts := src.ItemCounts()
 	var level []Itemset
 	var levelCounts []int
 	for it, c := range itemCounts {
@@ -224,7 +269,7 @@ func MineP(d *txn.Dataset, minSupport float64, parallelism int) (*FrequentSet, e
 		if len(candidates) == 0 {
 			break
 		}
-		counts := CountItemsetsP(d, candidates, parallelism)
+		counts := src.Count(candidates)
 		var next []Itemset
 		var nextCounts []int
 		for i, c := range counts {

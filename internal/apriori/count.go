@@ -115,6 +115,14 @@ func CountItemsetsP(d *txn.Dataset, sets []Itemset, parallelism int) []int {
 	return counts
 }
 
+// ItemCountsP returns the absolute per-item support counts of d (Apriori's
+// pass 1) with a parallelism knob. Per-item counts are the mergeable
+// pass-1 summary of a windowed monitor: vectors from disjoint batches add
+// (and subtract) into the counts a single scan of their union would produce.
+func ItemCountsP(d *txn.Dataset, parallelism int) []int {
+	return datasetSource{d: d, parallelism: parallelism}.ItemCounts()
+}
+
 // CountItemsetsBrute is the quadratic reference implementation of
 // CountItemsets, retained for property tests and the ablation benchmark.
 func CountItemsetsBrute(d *txn.Dataset, sets []Itemset) []int {

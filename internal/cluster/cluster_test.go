@@ -210,3 +210,25 @@ func TestModelCountsConsistent(t *testing.T) {
 		}
 	}
 }
+
+// A grid whose cell count overflows (or merely exhausts memory) must be
+// rejected at construction: -bins/-attrs are user-reachable through the
+// CLI, and every derived model allocates per-cell state.
+func TestNewGridRejectsHugeCellCounts(t *testing.T) {
+	s := dataset.NewSchema(
+		dataset.Attribute{Name: "a", Kind: dataset.Numeric, Min: 0, Max: 1},
+		dataset.Attribute{Name: "b", Kind: dataset.Numeric, Min: 0, Max: 1},
+		dataset.Attribute{Name: "c", Kind: dataset.Numeric, Min: 0, Max: 1},
+		dataset.Attribute{Name: "d", Kind: dataset.Numeric, Min: 0, Max: 1},
+	)
+	if _, err := NewGrid(s, []int{0, 1, 2, 3}, 100000); err == nil {
+		t.Fatal("100000^4 cells did not error")
+	}
+	// Exactly at the bound is still fine.
+	if _, err := NewGrid(s, []int{0}, MaxCells); err != nil {
+		t.Fatalf("grid at MaxCells rejected: %v", err)
+	}
+	if _, err := NewGrid(s, []int{0, 1}, 1<<15); err == nil {
+		t.Fatal("2^30 cells did not error")
+	}
+}

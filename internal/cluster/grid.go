@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"focus/internal/dataset"
+	"focus/internal/parallel"
 )
 
 // Grid discretizes a projection of the attribute space onto chosen numeric
@@ -17,6 +18,12 @@ type Grid struct {
 	lo, hi []float64
 }
 
+// MaxCells bounds the total cell count of a grid: every model derived from
+// the grid allocates per-cell state, so an unchecked bins^dims (reachable
+// from the CLI's -bins/-attrs flags) would overflow or exhaust memory
+// instead of returning an error.
+const MaxCells = 1 << 28
+
 // NewGrid builds a grid over the given numeric attributes of s, using the
 // attributes' schema domains as bounds.
 func NewGrid(s *dataset.Schema, attrs []int, bins int) (*Grid, error) {
@@ -25,6 +32,13 @@ func NewGrid(s *dataset.Schema, attrs []int, bins int) (*Grid, error) {
 	}
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("cluster: grid needs at least one attribute")
+	}
+	cells := 1
+	for range attrs {
+		if cells > MaxCells/bins {
+			return nil, fmt.Errorf("cluster: %d bins over %d attributes exceeds %d cells", bins, len(attrs), MaxCells)
+		}
+		cells *= bins
 	}
 	g := &Grid{Schema: s, Attrs: attrs, Bins: bins}
 	for _, a := range attrs {
@@ -117,26 +131,55 @@ type Model struct {
 // Outside marks grid cells that belong to no cluster.
 const Outside = -1
 
+// CellCounts returns the absolute number of tuples of d in every grid cell.
+// Cell counts are the mergeable summary of grid-based clustering: counts
+// from disjoint batches add (and subtract) into the counts a single scan of
+// their union would produce, which is what lets a windowed monitor rebuild
+// a cluster-model without rescanning retained batches (internal/stream).
+func CellCounts(d *dataset.Dataset, g *Grid, parallelism int) []int {
+	cellCounts := make([]int, g.NumCells())
+	parallel.MapReduce(len(d.Tuples), parallelism,
+		func() []int { return make([]int, len(cellCounts)) },
+		func(acc []int, c parallel.Chunk) {
+			for _, t := range d.Tuples[c.Lo:c.Hi] {
+				acc[g.CellOf(t)]++
+			}
+		},
+		func(acc []int) {
+			for i, v := range acc {
+				cellCounts[i] += v
+			}
+		})
+	return cellCounts
+}
+
 // BuildModel induces a cluster-model from d over grid g: cells holding at
 // least minDensity fraction of the tuples are dense, and orthogonally
 // adjacent dense cells are merged into clusters (grid-based clustering in
 // the spirit of the density-based methods the paper cites).
 func BuildModel(d *dataset.Dataset, g *Grid, minDensity float64) (*Model, error) {
+	return ModelFromCellCounts(g, CellCounts(d, g, 1), d.Len(), minDensity)
+}
+
+// ModelFromCellCounts induces a cluster-model from precomputed per-cell
+// counts over n tuples. The model is a pure function of the counts: two
+// ways of producing the same counts (a full scan, or merged per-batch
+// summaries) induce bit-identical models.
+func ModelFromCellCounts(g *Grid, cellCounts []int, n int, minDensity float64) (*Model, error) {
 	if minDensity < 0 || minDensity > 1 {
 		return nil, fmt.Errorf("cluster: minDensity %v outside [0,1]", minDensity)
 	}
-	cellCounts := make([]int, g.NumCells())
-	for _, t := range d.Tuples {
-		cellCounts[g.CellOf(t)]++
+	if len(cellCounts) != g.NumCells() {
+		return nil, fmt.Errorf("cluster: %d cell counts for a grid of %d cells", len(cellCounts), g.NumCells())
 	}
-	minCount := int(minDensity*float64(d.Len()) + 0.999999)
+	minCount := int(minDensity*float64(n) + 0.999999)
 	if minCount < 1 {
 		minCount = 1
 	}
 	m := &Model{
 		Grid:        g,
 		CellCluster: make([]int, g.NumCells()),
-		N:           d.Len(),
+		N:           n,
 	}
 	for i := range m.CellCluster {
 		m.CellCluster[i] = Outside

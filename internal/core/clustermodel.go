@@ -2,11 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"focus/internal/cluster"
 	"focus/internal/dataset"
-	"focus/internal/parallel"
 )
 
 // ClusterModel is a cluster-model (Section 2.4): the structural component is
@@ -52,42 +52,56 @@ func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc,
 	return ClusterDeviationWith(m1, m2, d1, d2, f, g, ClusterOptions{})
 }
 
-// ClusterDeviationWith is ClusterDeviation with options.
+// ClusterDeviationWith is ClusterDeviation with options. The two labeling
+// scans reduce each dataset to per-cell counts (both models share the grid,
+// so a tuple's label pair is a function of its cell alone); the deviation is
+// then computed from the cell counts.
 func ClusterDeviationWith(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc, opts ClusterOptions) (float64, error) {
 	if !m1.M.Grid.Equal(m2.M.Grid) {
 		return 0, errors.New("core: cluster-models over different grids have no cell-aligned GCR")
 	}
+	cells1 := cluster.CellCounts(d1, m1.M.Grid, opts.Parallelism)
+	cells2 := cluster.CellCounts(d2, m1.M.Grid, opts.Parallelism)
+	dev, _, err := ClusterDeviationFromCells(m1, m2, cells1, cells2, d1.Len(), d2.Len(), f, g)
+	return dev, err
+}
+
+// ClusterDeviationFromCells computes the cluster-model deviation from
+// precomputed per-cell counts over the models' shared grid (as produced by
+// cluster.CellCounts), returning the deviation and the number of GCR
+// regions it aggregated. It is the shared reduction of
+// ClusterDeviationWith and the incremental monitor (internal/stream): the
+// GCR regions are the non-empty label pairs (c1, c2) of the overlay, their
+// measures are integer sums of cell counts, and the f/g reduction runs
+// over the pairs in sorted (c1, c2) order — so any two ways of producing
+// equal cell counts yield bit-identical deviations.
+func ClusterDeviationFromCells(m1, m2 *ClusterModel, cells1, cells2 []int, n1, n2 int, f DiffFunc, g AggFunc) (float64, int, error) {
+	if !m1.M.Grid.Equal(m2.M.Grid) {
+		return 0, 0, errors.New("core: cluster-models over different grids have no cell-aligned GCR")
+	}
+	nc := m1.M.Grid.NumCells()
+	if len(cells1) != nc || len(cells2) != nc {
+		return 0, 0, fmt.Errorf("core: cell counts of length %d/%d do not match the grid's %d cells", len(cells1), len(cells2), nc)
+	}
 	type key struct{ c1, c2 int }
 	counts := make(map[key]*MeasuredRegion)
-	scan := func(d *dataset.Dataset, second bool) {
-		parallel.MapReduce(len(d.Tuples), opts.Parallelism,
-			func() map[key]float64 { return make(map[key]float64) },
-			func(acc map[key]float64, ch parallel.Chunk) {
-				for _, t := range d.Tuples[ch.Lo:ch.Hi] {
-					c1, c2 := m1.M.ClusterOf(t), m2.M.ClusterOf(t)
-					if c1 == cluster.Outside && c2 == cluster.Outside {
-						continue
-					}
-					acc[key{c1, c2}]++
-				}
-			},
-			func(acc map[key]float64) {
-				for k, v := range acc {
-					r, ok := counts[k]
-					if !ok {
-						r = &MeasuredRegion{}
-						counts[k] = r
-					}
-					if second {
-						r.Alpha2 += v
-					} else {
-						r.Alpha1 += v
-					}
-				}
-			})
+	for cell := 0; cell < nc; cell++ {
+		v1, v2 := cells1[cell], cells2[cell]
+		if v1 == 0 && v2 == 0 {
+			continue
+		}
+		c1, c2 := m1.M.CellCluster[cell], m2.M.CellCluster[cell]
+		if c1 == cluster.Outside && c2 == cluster.Outside {
+			continue
+		}
+		r, ok := counts[key{c1, c2}]
+		if !ok {
+			r = &MeasuredRegion{}
+			counts[key{c1, c2}] = r
+		}
+		r.Alpha1 += float64(v1)
+		r.Alpha2 += float64(v2)
 	}
-	scan(d1, false)
-	scan(d2, true)
 	// Aggregate over the label pairs in sorted order so the float64
 	// reduction is independent of map iteration and encounter order.
 	keys := make([]key, 0, len(counts))
@@ -104,5 +118,5 @@ func ClusterDeviationWith(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffF
 	for i, k := range keys {
 		regions[i] = *counts[k]
 	}
-	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+	return Deviation1(regions, float64(n1), float64(n2), f, g), len(regions), nil
 }

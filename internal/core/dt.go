@@ -184,25 +184,71 @@ func classAllowed(focus *region.Box, class int) bool {
 	return cs == nil || (class < len(cs) && cs[class])
 }
 
+// DTCellCounts returns the absolute tuple counts of d over the cells of t's
+// structural component — one cell per (leaf, class) pair, indexed
+// leafID*NumClasses+class. This is the per-batch summary of the
+// change-monitoring setting (Section 5.2): cell counts are integers, so
+// summaries from disjoint batches add (and subtract) into the counts a
+// single scan of their union would produce.
+func DTCellCounts(t *dtree.Tree, d *dataset.Dataset, parallelism int) ([]int, error) {
+	if !d.Schema.Equal(t.Schema) {
+		return nil, errors.New("core: dataset and tree must share one schema")
+	}
+	k := t.NumClasses()
+	cells := make([]int, t.NumLeaves()*k)
+	parallel.MapReduce(len(d.Tuples), parallelism,
+		func() []int { return make([]int, len(cells)) },
+		func(acc []int, c parallel.Chunk) {
+			for _, x := range d.Tuples[c.Lo:c.Hi] {
+				acc[t.LeafID(x)*k+x.Class(d.Schema)]++
+			}
+		},
+		func(acc []int) {
+			for i, v := range acc {
+				cells[i] += v
+			}
+		})
+	return cells, nil
+}
+
+// DTDeviationFromCells computes delta_1(f,g) over t's structural component
+// from precomputed cell counts (as produced by DTCellCounts). All
+// leaf-by-class regions are included, so difference functions that are
+// non-zero on empty regions (the chi-squared f) see every cell.
+func DTDeviationFromCells(t *dtree.Tree, cells1, cells2 []int, n1, n2 int, f DiffFunc, g AggFunc) (float64, error) {
+	want := t.NumLeaves() * t.NumClasses()
+	if len(cells1) != want || len(cells2) != want {
+		return 0, fmt.Errorf("core: cell counts of length %d/%d do not match the tree's %d cells", len(cells1), len(cells2), want)
+	}
+	regions := make([]MeasuredRegion, want)
+	for i := range regions {
+		regions[i] = MeasuredRegion{Alpha1: float64(cells1[i]), Alpha2: float64(cells2[i])}
+	}
+	return Deviation1(regions, float64(n1), float64(n2), f, g), nil
+}
+
 // DTDeviationOverTree computes delta_1(f,g) between d1 and d2 over the
 // structural component of a single tree (Definition 3.5 — the structural
 // components are identical by construction). This is the change-monitoring
 // setting of Section 5.2: the old model's structure is imposed on the new
-// data. All leaf-by-class regions are included, so difference functions
-// that are non-zero on empty regions (the chi-squared f) see every cell.
+// data.
 func DTDeviationOverTree(t *dtree.Tree, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc) (float64, error) {
-	if !d1.Schema.Equal(t.Schema) || !d2.Schema.Equal(t.Schema) {
-		return 0, errors.New("core: datasets and tree must share one schema")
+	return DTDeviationOverTreeP(t, d1, d2, f, g, 1)
+}
+
+// DTDeviationOverTreeP is DTDeviationOverTree with a parallelism knob; the
+// deviation is bit-identical for every worker count (integer cell counts
+// merged in shard order, serial f/g reduction in cell order).
+func DTDeviationOverTreeP(t *dtree.Tree, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc, parallelism int) (float64, error) {
+	c1, err := DTCellCounts(t, d1, parallelism)
+	if err != nil {
+		return 0, err
 	}
-	k := t.NumClasses()
-	regions := make([]MeasuredRegion, t.NumLeaves()*k)
-	for _, x := range d1.Tuples {
-		regions[t.LeafID(x)*k+x.Class(d1.Schema)].Alpha1++
+	c2, err := DTCellCounts(t, d2, parallelism)
+	if err != nil {
+		return 0, err
 	}
-	for _, x := range d2.Tuples {
-		regions[t.LeafID(x)*k+x.Class(d2.Schema)].Alpha2++
-	}
-	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+	return DTDeviationFromCells(t, c1, c2, d1.Len(), d2.Len(), f, g)
 }
 
 // DTDeviationOverRegions computes delta_1(f,g) between d1 and d2 over an

@@ -102,11 +102,21 @@ func LitsDeviation(m1, m2 *LitsModel, d1, d2 *txn.Dataset, f DiffFunc, g AggFunc
 	}
 	c1 := apriori.CountItemsetsP(d1, gcr, opts.Parallelism)
 	c2 := apriori.CountItemsetsP(d2, gcr, opts.Parallelism)
-	regions := make([]MeasuredRegion, len(gcr))
-	for i := range gcr {
+	return LitsDeviationFromCounts(c1, c2, d1.Len(), d2.Len(), f, g), nil
+}
+
+// LitsDeviationFromCounts computes delta_1(f,g) from the absolute support
+// counts of a common refinement's itemsets in each dataset (c1 and c2 must
+// be aligned to the same itemset order). It is the shared reduction of
+// LitsDeviation and the incremental monitor (internal/stream): both paths
+// produce the same integer counts in the same GCR order, so their float64
+// deviations are bit-identical.
+func LitsDeviationFromCounts(c1, c2 []int, n1, n2 int, f DiffFunc, g AggFunc) float64 {
+	regions := make([]MeasuredRegion, len(c1))
+	for i := range c1 {
 		regions[i] = MeasuredRegion{Alpha1: float64(c1[i]), Alpha2: float64(c2[i])}
 	}
-	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+	return Deviation1(regions, float64(n1), float64(n2), f, g)
 }
 
 // LitsDeviationOverRefinement computes delta_1(f,g) over an arbitrary common

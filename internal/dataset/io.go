@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -97,9 +98,19 @@ func ReadCSV(r io.Reader, s *Schema) (*Dataset, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d attribute %q: %w", line, s.Attrs[j].Name, err)
 			}
+			// ParseFloat accepts "NaN" and "Inf"; a non-finite value would
+			// poison every downstream count.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: line %d attribute %q: value %q is not finite", line, s.Attrs[j].Name, field)
+			}
 			t[j] = v
 		}
 		d.Tuples = append(d.Tuples, t)
+	}
+	// Reject out-of-domain values as well, so a successful read always
+	// yields a dataset that satisfies Validate.
+	if err := d.Validate(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }

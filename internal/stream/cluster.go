@@ -1,0 +1,230 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"focus/internal/cluster"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/stats"
+)
+
+// clusterBatch is the sealed summary of one batch of tuples for
+// cluster-model monitoring: the raw tuples (retained for bootstrap
+// qualification) and the batch's grid-cell counts. Cell counts are
+// integers, so they add into and subtract out of the window aggregate
+// exactly, and the window's cluster-model is re-induced from the aggregate
+// alone — no retained batch is ever rescanned.
+type clusterBatch struct {
+	data  *dataset.Dataset
+	cells []int
+	epoch int64
+}
+
+// clusterWindow aggregates batch grid-cell counts incrementally.
+type clusterWindow struct {
+	batchList []*clusterBatch
+	cells     []int
+	n         int
+}
+
+func newClusterWindow(numCells int) *clusterWindow {
+	return &clusterWindow{cells: make([]int, numCells)}
+}
+
+func (w *clusterWindow) add(b *clusterBatch) {
+	w.batchList = append(w.batchList, b)
+	for i, v := range b.cells {
+		w.cells[i] += v
+	}
+	w.n += b.data.Len()
+}
+
+func (w *clusterWindow) removeFront() {
+	b := w.batchList[0]
+	w.batchList[0] = nil
+	w.batchList = w.batchList[1:]
+	for i, v := range b.cells {
+		w.cells[i] -= v
+	}
+	w.n -= b.data.Len()
+}
+
+func (w *clusterWindow) copyState() *clusterWindow {
+	return &clusterWindow{
+		batchList: append([]*clusterBatch(nil), w.batchList...),
+		cells:     append([]int(nil), w.cells...),
+		n:         w.n,
+	}
+}
+
+func (w *clusterWindow) concat(s *dataset.Schema) *dataset.Dataset {
+	out := dataset.New(s)
+	for _, b := range w.batchList {
+		out.Tuples = append(out.Tuples, b.data.Tuples...)
+	}
+	return out
+}
+
+// clusterEngine re-induces the window's cluster-model from the aggregated
+// cell counts after every advance and compares it against the reference
+// model over the shared grid.
+type clusterEngine struct {
+	opts       *Options
+	grid       *cluster.Grid
+	minDensity float64
+	live       *clusterWindow
+	ref        *clusterWindow
+	refModel   *core.ClusterModel
+	// liveModel caches the model emit() induced from the current window
+	// state, so a PreviousWindow snapshot right after an emission does not
+	// re-induce it; any window mutation invalidates it.
+	liveModel *core.ClusterModel
+}
+
+func (e *clusterEngine) ingest(batch []dataset.Tuple, epoch int64) (int, error) {
+	d := dataset.FromTuples(e.grid.Schema, batch)
+	if err := d.Validate(); err != nil {
+		return 0, fmt.Errorf("stream: invalid batch: %w", err)
+	}
+	e.live.add(&clusterBatch{
+		data:  d,
+		cells: cluster.CellCounts(d, e.grid, e.opts.Parallelism),
+		epoch: epoch,
+	})
+	e.liveModel = nil
+	return len(batch), nil
+}
+
+func (e *clusterEngine) expire() {
+	e.live.removeFront()
+	e.liveModel = nil
+}
+func (e *clusterEngine) batches() int      { return len(e.live.batchList) }
+func (e *clusterEngine) frontEpoch() int64 { return e.live.batchList[0].epoch }
+func (e *clusterEngine) windowN() int      { return e.live.n }
+func (e *clusterEngine) hasRef() bool      { return e.ref != nil }
+
+func (e *clusterEngine) clear() {
+	for e.batches() > 0 {
+		e.expire()
+	}
+}
+
+// buildLive induces the current window's model, reusing the one the last
+// emit() built when the window has not advanced since.
+func (e *clusterEngine) buildLive() (*core.ClusterModel, error) {
+	if e.liveModel != nil {
+		return e.liveModel, nil
+	}
+	m, err := cluster.ModelFromCellCounts(e.grid, e.live.cells, e.live.n, e.minDensity)
+	if err != nil {
+		return nil, err
+	}
+	e.liveModel = &core.ClusterModel{M: m}
+	return e.liveModel, nil
+}
+
+func (e *clusterEngine) snapshot() error {
+	m, err := e.buildLive()
+	if err != nil {
+		return err
+	}
+	e.ref = e.live.copyState()
+	e.refModel = m
+	return nil
+}
+
+func (e *clusterEngine) emit() (measurement, error) {
+	cur, err := e.buildLive()
+	if err != nil {
+		return measurement{}, err
+	}
+	dev, regions, err := core.ClusterDeviationFromCells(e.refModel, cur, e.ref.cells, e.live.cells, e.ref.n, e.live.n, e.opts.F, e.opts.G)
+	if err != nil {
+		return measurement{}, err
+	}
+	return measurement{dev: dev, regions: regions, refN: e.ref.n}, nil
+}
+
+// qualify bootstraps the cluster deviation per the Section 3.4 recipe:
+// reference and window tuples are pooled, resample pairs of the original
+// sizes are drawn, cluster-models are re-induced on each resample over the
+// pinned grid, and the deviation is recomputed.
+func (e *clusterEngine) qualify(observed float64, seed int64) (*core.Qualification, error) {
+	refData := e.ref.concat(e.grid.Schema)
+	curData := e.live.concat(e.grid.Schema)
+	if refData.Len() == 0 || curData.Len() == 0 {
+		return nil, errors.New("stream: qualification requires non-empty reference and window")
+	}
+	pool, err := refData.Concat(curData)
+	if err != nil {
+		return nil, err
+	}
+	n1, n2 := refData.Len(), curData.Len()
+	grid, minDensity, f, g := e.grid, e.minDensity, e.opts.F, e.opts.G
+	null := stats.NullDistributionP(e.opts.Replicates, e.opts.Parallelism, seed, func(rng *rand.Rand) float64 {
+		r1 := pool.Resample(n1, rng)
+		r2 := pool.Resample(n2, rng)
+		cells1 := cluster.CellCounts(r1, grid, 1)
+		cells2 := cluster.CellCounts(r2, grid, 1)
+		m1, merr := cluster.ModelFromCellCounts(grid, cells1, n1, minDensity)
+		if merr != nil {
+			panic(merr) // parameters were validated at construction
+		}
+		m2, merr := cluster.ModelFromCellCounts(grid, cells2, n2, minDensity)
+		if merr != nil {
+			panic(merr)
+		}
+		dev, _, derr := core.ClusterDeviationFromCells(&core.ClusterModel{M: m1}, &core.ClusterModel{M: m2}, cells1, cells2, n1, n2, f, g)
+		if derr != nil {
+			panic(derr) // grids are equal by construction
+		}
+		return dev
+	})
+	return &core.Qualification{
+		Deviation:    observed,
+		Significance: stats.Significance(observed, null),
+		Null:         null,
+	}, nil
+}
+
+// ClusterMonitor monitors a stream of tuple batches through grid-based
+// cluster-models.
+type ClusterMonitor = Monitor[dataset.Tuple]
+
+// NewClusterMonitor creates a monitor that re-induces a cluster-model over
+// grid g at minDensity from every window's aggregated cell counts and
+// emits its deviation from the reference model. ref supplies the pinned
+// reference (with Options.PreviousWindow it only seeds the first
+// comparison); it may be nil with Options.PreviousWindow, in which case
+// the first complete window becomes the initial reference.
+func NewClusterMonitor(g *cluster.Grid, minDensity float64, ref *dataset.Dataset, opts Options) (*ClusterMonitor, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, errors.New("stream: cluster monitor requires a grid")
+	}
+	if minDensity < 0 || minDensity > 1 {
+		return nil, fmt.Errorf("stream: minDensity %v outside [0,1]", minDensity)
+	}
+	e := &clusterEngine{opts: &o, grid: g, minDensity: minDensity, live: newClusterWindow(g.NumCells())}
+	if ref != nil {
+		cells := cluster.CellCounts(ref, g, o.Parallelism)
+		m, err := cluster.ModelFromCellCounts(g, cells, ref.Len(), minDensity)
+		if err != nil {
+			return nil, err
+		}
+		refWin := newClusterWindow(g.NumCells())
+		refWin.add(&clusterBatch{data: ref, cells: cells})
+		e.ref = refWin
+		e.refModel = &core.ClusterModel{M: m}
+	} else if !o.PreviousWindow {
+		return nil, errors.New("stream: cluster monitor requires reference data unless PreviousWindow is set")
+	}
+	return newMonitor[dataset.Tuple](o, e), nil
+}

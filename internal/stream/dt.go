@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/stats"
+)
+
+// dtBatch is the sealed summary of one batch of tuples for dt-model
+// monitoring: the raw tuples (retained for bootstrap qualification) and
+// the batch's cell counts over the pinned tree's leaf-by-class cells. Cell
+// counts are integers, so they add into and subtract out of the window
+// aggregate exactly.
+type dtBatch struct {
+	data  *dataset.Dataset
+	cells []int
+	epoch int64
+}
+
+// dtWindow aggregates batch cell counts incrementally.
+type dtWindow struct {
+	batchList []*dtBatch
+	cells     []int
+	n         int
+}
+
+func newDTWindow(numCells int) *dtWindow {
+	return &dtWindow{cells: make([]int, numCells)}
+}
+
+func (w *dtWindow) add(b *dtBatch) {
+	w.batchList = append(w.batchList, b)
+	for i, v := range b.cells {
+		w.cells[i] += v
+	}
+	w.n += b.data.Len()
+}
+
+func (w *dtWindow) removeFront() {
+	b := w.batchList[0]
+	w.batchList[0] = nil
+	w.batchList = w.batchList[1:]
+	for i, v := range b.cells {
+		w.cells[i] -= v
+	}
+	w.n -= b.data.Len()
+}
+
+func (w *dtWindow) copyState() *dtWindow {
+	return &dtWindow{
+		batchList: append([]*dtBatch(nil), w.batchList...),
+		cells:     append([]int(nil), w.cells...),
+		n:         w.n,
+	}
+}
+
+func (w *dtWindow) concat(s *dataset.Schema) *dataset.Dataset {
+	out := dataset.New(s)
+	for _, b := range w.batchList {
+		out.Tuples = append(out.Tuples, b.data.Tuples...)
+	}
+	return out
+}
+
+// dtEngine maintains window cell counts over a pinned tree — the
+// change-monitoring setting of Section 5.2, where the old model's
+// structure is imposed on the new data.
+type dtEngine struct {
+	opts *Options
+	tree *dtree.Tree
+	live *dtWindow
+	ref  *dtWindow
+}
+
+func (e *dtEngine) numCells() int { return e.tree.NumLeaves() * e.tree.NumClasses() }
+
+func (e *dtEngine) ingest(batch []dataset.Tuple, epoch int64) (int, error) {
+	d := dataset.FromTuples(e.tree.Schema, batch)
+	if err := d.Validate(); err != nil {
+		return 0, fmt.Errorf("stream: invalid batch: %w", err)
+	}
+	cells, err := core.DTCellCounts(e.tree, d, e.opts.Parallelism)
+	if err != nil {
+		return 0, err
+	}
+	e.live.add(&dtBatch{data: d, cells: cells, epoch: epoch})
+	return len(batch), nil
+}
+
+func (e *dtEngine) expire()           { e.live.removeFront() }
+func (e *dtEngine) batches() int      { return len(e.live.batchList) }
+func (e *dtEngine) frontEpoch() int64 { return e.live.batchList[0].epoch }
+func (e *dtEngine) windowN() int      { return e.live.n }
+func (e *dtEngine) hasRef() bool      { return e.ref != nil }
+
+func (e *dtEngine) clear() {
+	for e.batches() > 0 {
+		e.expire()
+	}
+}
+
+func (e *dtEngine) snapshot() error {
+	e.ref = e.live.copyState()
+	return nil
+}
+
+func (e *dtEngine) emit() (measurement, error) {
+	dev, err := core.DTDeviationFromCells(e.tree, e.ref.cells, e.live.cells, e.ref.n, e.live.n, e.opts.F, e.opts.G)
+	if err != nil {
+		return measurement{}, err
+	}
+	return measurement{dev: dev, regions: e.numCells(), refN: e.ref.n}, nil
+}
+
+// qualify bootstraps the over-tree deviation (Section 3.4 applied to the
+// monitoring statistic of Section 5.2): reference and window tuples are
+// pooled, resample pairs of the original sizes are drawn, and the
+// deviation over the pinned tree's cells is recomputed on each pair.
+func (e *dtEngine) qualify(observed float64, seed int64) (*core.Qualification, error) {
+	refData := e.ref.concat(e.tree.Schema)
+	curData := e.live.concat(e.tree.Schema)
+	if refData.Len() == 0 || curData.Len() == 0 {
+		return nil, errors.New("stream: qualification requires non-empty reference and window")
+	}
+	pool, err := refData.Concat(curData)
+	if err != nil {
+		return nil, err
+	}
+	n1, n2 := refData.Len(), curData.Len()
+	tree, f, g := e.tree, e.opts.F, e.opts.G
+	null := stats.NullDistributionP(e.opts.Replicates, e.opts.Parallelism, seed, func(rng *rand.Rand) float64 {
+		r1 := pool.Resample(n1, rng)
+		r2 := pool.Resample(n2, rng)
+		dev, derr := core.DTDeviationOverTreeP(tree, r1, r2, f, g, 1)
+		if derr != nil {
+			panic(derr) // schemas are equal by construction
+		}
+		return dev
+	})
+	return &core.Qualification{
+		Deviation:    observed,
+		Significance: stats.Significance(observed, null),
+		Null:         null,
+	}, nil
+}
+
+// DTMonitor monitors a stream of tuple batches through the cells of a
+// pinned decision tree.
+type DTMonitor = Monitor[dataset.Tuple]
+
+// NewDTMonitor creates a monitor that measures every window over the
+// pinned tree's leaf-by-class cells and emits its deviation from the
+// reference measures (Section 5.2). ref supplies the reference measures —
+// typically the tree's training data; it may be nil with
+// Options.PreviousWindow, in which case the first complete window becomes
+// the initial reference. The chi-squared statistic of Proposition 5.1 is
+// available by setting Options.F to core.ChiSquaredDiff(c).
+func NewDTMonitor(tree *dtree.Tree, ref *dataset.Dataset, opts Options) (*DTMonitor, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		return nil, errors.New("stream: dt monitor requires a tree")
+	}
+	e := &dtEngine{opts: &o, tree: tree, live: newDTWindow(tree.NumLeaves() * tree.NumClasses())}
+	if ref != nil {
+		cells, err := core.DTCellCounts(tree, ref, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		refWin := newDTWindow(len(cells))
+		refWin.add(&dtBatch{data: ref, cells: cells})
+		e.ref = refWin
+	} else if !o.PreviousWindow {
+		return nil, errors.New("stream: dt monitor requires reference data unless PreviousWindow is set")
+	}
+	return newMonitor[dataset.Tuple](o, e), nil
+}

@@ -1,0 +1,303 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"focus/internal/apriori"
+	"focus/internal/core"
+	"focus/internal/txn"
+)
+
+// internTable assigns dense ids to itemsets, shared by every window of one
+// monitor (live, snapshots, pinned reference). Interning pays one string
+// lookup per itemset per Count call; the per-batch caches are then flat
+// slices indexed by id, so serving a cached count costs a slice read, not
+// a map access per (itemset, batch) pair. The table grows with the
+// distinct candidate itemsets ever counted — bounded in practice by the
+// stable candidate population of the stream.
+type internTable struct {
+	ids map[string]int
+}
+
+func newInternTable() *internTable { return &internTable{ids: make(map[string]int)} }
+
+func (t *internTable) idsOf(sets []apriori.Itemset) []int {
+	out := make([]int, len(sets))
+	for i, s := range sets {
+		k := s.Key()
+		id, ok := t.ids[k]
+		if !ok {
+			id = len(t.ids)
+			t.ids[k] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// litsBatch is the sealed summary of one batch of transactions: the raw
+// transactions (retained so itemsets first seen in later windows can still
+// be counted), the mergeable pass-1 item-count vector, and a cache of
+// absolute support counts per interned itemset already counted in this
+// batch (-1 = not yet counted). The cache is what makes window advance
+// incremental — a stable candidate set never rescans a retained batch.
+type litsBatch struct {
+	data   *txn.Dataset
+	items  []int
+	counts []int // by interned id; -1 marks uncounted
+	epoch  int64
+}
+
+// grow extends the cache to cover ids below n, marking new slots uncounted.
+func (b *litsBatch) grow(n int) {
+	if len(b.counts) >= n {
+		return
+	}
+	grown := make([]int, n)
+	copy(grown, b.counts)
+	for i := len(b.counts); i < n; i++ {
+		grown[i] = -1
+	}
+	b.counts = grown
+}
+
+// litsWindow is a set of batches exposed to Apriori as a count source:
+// pass-1 item counts are maintained incrementally (add on ingest, subtract
+// on expiry), candidate counts are per-batch sums served from the caches,
+// scanning a batch only for itemsets it has not counted before. Counts are
+// integers, so the sums — and everything induced from them — are identical
+// to a full rescan of the window.
+type litsWindow struct {
+	numItems    int
+	parallelism int
+	intern      *internTable
+	batchList   []*litsBatch
+	items       []int
+	n           int
+}
+
+func newLitsWindow(numItems, parallelism int, intern *internTable) *litsWindow {
+	return &litsWindow{numItems: numItems, parallelism: parallelism, intern: intern, items: make([]int, numItems)}
+}
+
+func (w *litsWindow) add(b *litsBatch) {
+	w.batchList = append(w.batchList, b)
+	for i, v := range b.items {
+		w.items[i] += v
+	}
+	w.n += b.data.Len()
+}
+
+func (w *litsWindow) removeFront() {
+	b := w.batchList[0]
+	w.batchList[0] = nil
+	w.batchList = w.batchList[1:]
+	for i, v := range b.items {
+		w.items[i] -= v
+	}
+	w.n -= b.data.Len()
+}
+
+// copyState returns a snapshot sharing the (immutable) batch summaries.
+func (w *litsWindow) copyState() *litsWindow {
+	cp := &litsWindow{
+		numItems:    w.numItems,
+		parallelism: w.parallelism,
+		intern:      w.intern,
+		batchList:   append([]*litsBatch(nil), w.batchList...),
+		items:       append([]int(nil), w.items...),
+		n:           w.n,
+	}
+	return cp
+}
+
+// concat assembles the window's raw transactions into one dataset (sharing
+// transaction storage), for bootstrap qualification.
+func (w *litsWindow) concat() *txn.Dataset {
+	out := &txn.Dataset{NumItems: w.numItems}
+	for _, b := range w.batchList {
+		out.Txns = append(out.Txns, b.data.Txns...)
+	}
+	return out
+}
+
+// litsWindow implements apriori.Source.
+
+func (w *litsWindow) NumTxns() int      { return w.n }
+func (w *litsWindow) NumItems() int     { return w.numItems }
+func (w *litsWindow) ItemCounts() []int { return w.items }
+
+func (w *litsWindow) Count(sets []apriori.Itemset) []int {
+	total := make([]int, len(sets))
+	if len(sets) == 0 {
+		return total
+	}
+	ids := w.intern.idsOf(sets)
+	for _, b := range w.batchList {
+		b.grow(len(w.intern.ids))
+		var missing []apriori.Itemset
+		var missingIdx []int
+		for i, id := range ids {
+			if c := b.counts[id]; c >= 0 {
+				total[i] += c
+			} else {
+				if missing == nil {
+					missing = make([]apriori.Itemset, 0, len(sets)-i)
+					missingIdx = make([]int, 0, len(sets)-i)
+				}
+				missing = append(missing, sets[i])
+				missingIdx = append(missingIdx, i)
+			}
+		}
+		if len(missing) > 0 {
+			counts := apriori.CountItemsetsP(b.data, missing, w.parallelism)
+			for j, c := range counts {
+				i := missingIdx[j]
+				b.counts[ids[i]] = c
+				total[i] += c
+			}
+		}
+	}
+	return total
+}
+
+// litsEngine maintains a lits-model window against a reference lits-model.
+type litsEngine struct {
+	opts       *Options
+	minSupport float64
+	live       *litsWindow
+	ref        *litsWindow
+	refModel   *core.LitsModel
+	// liveModel caches the model emit() mined from the current window
+	// state, so a PreviousWindow snapshot right after an emission does not
+	// re-mine it; any window mutation invalidates it.
+	liveModel *core.LitsModel
+}
+
+func (e *litsEngine) ingest(batch []txn.Transaction, epoch int64) (int, error) {
+	d := &txn.Dataset{NumItems: e.live.numItems, Txns: batch}
+	if err := d.Validate(); err != nil {
+		return 0, fmt.Errorf("stream: invalid batch: %w", err)
+	}
+	e.live.add(&litsBatch{
+		data:  d,
+		items: apriori.ItemCountsP(d, e.opts.Parallelism),
+		epoch: epoch,
+	})
+	e.liveModel = nil
+	return len(batch), nil
+}
+
+func (e *litsEngine) expire() {
+	e.live.removeFront()
+	e.liveModel = nil
+}
+func (e *litsEngine) batches() int      { return len(e.live.batchList) }
+func (e *litsEngine) frontEpoch() int64 { return e.live.batchList[0].epoch }
+func (e *litsEngine) windowN() int      { return e.live.n }
+func (e *litsEngine) hasRef() bool      { return e.ref != nil }
+
+func (e *litsEngine) clear() {
+	for e.batches() > 0 {
+		e.expire()
+	}
+}
+
+// mineLive mines the current window's model, reusing the one the last
+// emit() mined when the window has not advanced since.
+func (e *litsEngine) mineLive() (*core.LitsModel, error) {
+	if e.liveModel != nil {
+		return e.liveModel, nil
+	}
+	fs, err := apriori.MineFrom(e.live, e.minSupport)
+	if err != nil {
+		return nil, err
+	}
+	e.liveModel = &core.LitsModel{FS: fs}
+	return e.liveModel, nil
+}
+
+func (e *litsEngine) snapshot() error {
+	m, err := e.mineLive()
+	if err != nil {
+		return err
+	}
+	e.ref = e.live.copyState()
+	e.refModel = m
+	return nil
+}
+
+func (e *litsEngine) emit() (measurement, error) {
+	cur, err := e.mineLive()
+	if err != nil {
+		return measurement{}, err
+	}
+	gcr := core.GCRItemsets(e.refModel, cur)
+	c1 := e.ref.Count(gcr)
+	c2 := e.live.Count(gcr)
+	dev := core.LitsDeviationFromCounts(c1, c2, e.ref.n, e.live.n, e.opts.F, e.opts.G)
+	return measurement{dev: dev, regions: len(gcr), refN: e.ref.n}, nil
+}
+
+func (e *litsEngine) qualify(observed float64, seed int64) (*core.Qualification, error) {
+	refData := e.ref.concat()
+	curData := e.live.concat()
+	if refData.Len() == 0 || curData.Len() == 0 {
+		return nil, errors.New("stream: qualification requires non-empty reference and window")
+	}
+	q, err := core.QualifyLits(refData, curData, e.minSupport, e.opts.F, e.opts.G, core.QualifyOptions{
+		Replicates:  e.opts.Replicates,
+		Seed:        seed,
+		Parallelism: e.opts.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q.Deviation = observed
+	return &q, nil
+}
+
+// LitsMonitor monitors a stream of transaction batches through
+// lits-models.
+type LitsMonitor = Monitor[txn.Transaction]
+
+// NewLitsMonitor creates a monitor that mines a lits-model at minSupport
+// over each window and emits its deviation from the reference. ref is the
+// pinned reference dataset (with Options.PreviousWindow it only seeds the
+// first comparison, after which the reference rolls forward); its item
+// universe fixes the monitor's. The reference model is mined from ref at
+// the same minimum support.
+func NewLitsMonitor(ref *txn.Dataset, minSupport float64, opts Options) (*LitsMonitor, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if ref == nil {
+		return nil, errors.New("stream: lits monitor requires a reference dataset")
+	}
+	if err := ref.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: invalid reference: %w", err)
+	}
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, fmt.Errorf("stream: minimum support %v outside (0,1]", minSupport)
+	}
+	intern := newInternTable()
+	e := &litsEngine{
+		opts:       &o,
+		minSupport: minSupport,
+		live:       newLitsWindow(ref.NumItems, o.Parallelism, intern),
+	}
+	refWin := newLitsWindow(ref.NumItems, o.Parallelism, intern)
+	refWin.add(&litsBatch{
+		data:  ref,
+		items: apriori.ItemCountsP(ref, o.Parallelism),
+	})
+	refModel, err := apriori.MineFrom(refWin, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	e.ref = refWin
+	e.refModel = &core.LitsModel{FS: refModel}
+	return newMonitor[txn.Transaction](o, e), nil
+}

@@ -1,0 +1,298 @@
+// Package stream implements incremental windowed deviation monitoring on
+// top of the FOCUS framework: the paper's headline use case — computing
+// delta(f,g) between yesterday's and today's snapshot to decide whether a
+// change is interesting (Section 5.2) — run continuously over a stream of
+// batches instead of as one-off batch diffs.
+//
+// A Monitor ingests batches of transactions (lits-models) or tuples
+// (dt- and cluster-models) into a sliding or tumbling window, count- or
+// epoch-based. The window's model is maintained incrementally: every batch
+// is sealed into a mergeable, subtractable summary — per-batch itemset
+// support counts for lits-models, per-cell class counts over the pinned
+// tree for dt-models, grid-cell counts for cluster-models — so a window
+// advance subtracts the expired batch's summary and adds the new one
+// instead of rescanning retained batches. After every advance the monitor
+// emits the deviation of the current window against a pinned reference
+// model (or against the previous window), optionally bootstrap-qualified,
+// and invokes an alert callback when the deviation reaches a threshold.
+//
+// The determinism contract of the parallel pipeline extends to the
+// incremental one: all summaries hold integer counts, integer sums are
+// exact and order-free, and the model inductions (Apriori, grid
+// clustering) and f/g reductions are pure functions of those counts over
+// fixed region orders. A monitor's deviation is therefore bit-identical to
+// rebuilding the window's model from its raw batches at every step, for
+// every model class, every f/g combination, and every parallelism setting
+// — the property the equivalence tests in this package pin down.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"focus/internal/core"
+	"focus/internal/stats"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// WindowBatches is the number of batches a count-based window holds;
+	// it must be >= 1 unless EpochWindow selects epoch-based expiry.
+	// Sliding windows (the default) emit a report on every ingest over the
+	// most recent min(ingested, WindowBatches) batches.
+	WindowBatches int
+
+	// Tumbling makes the count-based window tumble instead of slide: a
+	// report is emitted only when WindowBatches batches have accumulated,
+	// after which the window is cleared. Incompatible with EpochWindow.
+	Tumbling bool
+
+	// EpochWindow, when > 0, selects epoch-based expiry instead of
+	// batch-count expiry: every batch carries an epoch (IngestEpoch, e.g.
+	// an hour or day number), several batches may share one, and the
+	// window keeps the batches whose epoch lies in
+	// (current-EpochWindow, current].
+	EpochWindow int64
+
+	// F is the difference function (default core.AbsoluteDiff).
+	F core.DiffFunc
+	// G is the aggregate function (default core.Sum).
+	G core.AggFunc
+
+	// PreviousWindow compares each window against the window as of the
+	// previous report instead of against the pinned reference. When the
+	// monitor was constructed without reference data, the first complete
+	// window becomes the initial reference and emits no report.
+	PreviousWindow bool
+
+	// Threshold, when > 0, marks every report whose deviation is >= the
+	// threshold as an alert and invokes OnAlert.
+	Threshold float64
+	// OnAlert, when non-nil, is invoked synchronously from Ingest for
+	// every alerting report.
+	OnAlert func(Report)
+
+	// Qualify bootstraps the significance of every emitted deviation
+	// (Section 3.4): reference and window data are pooled, same-sized
+	// resample pairs re-induce models and recompute the deviation, and the
+	// report carries sig(d) against that null distribution.
+	Qualify bool
+	// Replicates is the bootstrap replicate count (default
+	// stats.DefaultBootstrapReplicates).
+	Replicates int
+	// Seed makes qualification deterministic; report Seq is added to it so
+	// successive emissions draw distinct but reproducible nulls.
+	Seed int64
+
+	// Parallelism shards batch summarization, deviation scans and
+	// bootstrap replicates across workers: 0 uses the process default,
+	// 1 forces the serial path, n >= 2 uses n workers. Results are
+	// bit-identical for every setting.
+	Parallelism int
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.F == nil {
+		out.F = core.AbsoluteDiff
+	}
+	if out.G == nil {
+		out.G = core.Sum
+	}
+	if out.Replicates <= 0 {
+		out.Replicates = stats.DefaultBootstrapReplicates
+	}
+	if out.EpochWindow > 0 {
+		if out.Tumbling {
+			return out, errors.New("stream: epoch-based windows cannot tumble")
+		}
+		if out.WindowBatches != 0 {
+			return out, errors.New("stream: WindowBatches and EpochWindow are mutually exclusive")
+		}
+	} else if out.WindowBatches < 1 {
+		return out, errors.New("stream: WindowBatches must be >= 1 (or set EpochWindow > 0)")
+	}
+	return out, nil
+}
+
+// Report is one emission of a Monitor: the deviation of the current window
+// against the reference after a window advance.
+type Report struct {
+	// Seq is the 0-based emission index.
+	Seq int
+	// Epoch is the epoch of the most recent batch.
+	Epoch int64
+	// Batches is the number of batches in the window.
+	Batches int
+	// N is the number of transactions/tuples in the window.
+	N int
+	// RefN is the number of transactions/tuples on the reference side.
+	RefN int
+	// Regions is the number of GCR regions compared (GCR itemsets for
+	// lits-models, leaf-by-class cells for dt-models, overlay label pairs
+	// for cluster-models).
+	Regions int
+	// Deviation is delta(f,g) between the reference and the window.
+	Deviation float64
+	// Alert reports whether Deviation reached Options.Threshold.
+	Alert bool
+	// Qual carries the bootstrap qualification when Options.Qualify is
+	// set (Qual.Deviation equals Deviation).
+	Qual *core.Qualification
+}
+
+// measurement is what an engine computes per emission.
+type measurement struct {
+	dev     float64
+	regions int
+	refN    int
+}
+
+// engine is the model-class-specific half of a Monitor: it seals raw
+// batches into mergeable summaries, maintains the live window aggregate
+// incrementally, and computes deviations against its reference state.
+type engine[B any] interface {
+	// ingest seals a raw batch into a per-batch summary and adds it to the
+	// live window, returning the batch size.
+	ingest(batch []B, epoch int64) (int, error)
+	// expire removes the oldest batch from the live window, subtracting
+	// its summary from the window aggregate.
+	expire()
+	// batches returns the number of live batches; frontEpoch the epoch of
+	// the oldest; windowN the live row total.
+	batches() int
+	frontEpoch() int64
+	windowN() int
+	// hasRef reports whether a reference (pinned or snapshotted) exists.
+	hasRef() bool
+	// emit computes the deviation of the live window against the
+	// reference.
+	emit() (measurement, error)
+	// qualify bootstraps the emitted deviation with the given seed.
+	qualify(observed float64, seed int64) (*core.Qualification, error)
+	// snapshot makes the live window the reference (PreviousWindow mode).
+	snapshot() error
+	// clear empties the live window (tumbling mode).
+	clear()
+}
+
+// Monitor is an incremental windowed deviation monitor over batches of B
+// (transactions for lits-models, tuples for dt- and cluster-models).
+// Construct one with NewLitsMonitor, NewDTMonitor or NewClusterMonitor.
+// A Monitor is not safe for concurrent use.
+type Monitor[B any] struct {
+	opts  Options
+	eng   engine[B]
+	epoch int64
+	seq   int
+	last  *Report
+}
+
+func newMonitor[B any](opts Options, eng engine[B]) *Monitor[B] {
+	return &Monitor[B]{opts: opts, eng: eng}
+}
+
+// Ingest adds one batch to the window under the next epoch (previous
+// epoch + 1) and returns the emitted report, or nil when the window policy
+// suppresses emission (a tumbling window that has not filled, or a
+// PreviousWindow monitor still waiting for its first reference window).
+// The monitor retains the batch; callers must not mutate it afterwards.
+func (m *Monitor[B]) Ingest(batch []B) (*Report, error) {
+	return m.IngestEpoch(m.epoch+1, batch)
+}
+
+// IngestEpoch is Ingest with an explicit epoch, which must not decrease
+// from one call to the next. Epochs drive expiry when Options.EpochWindow
+// is set and are otherwise only recorded in reports.
+func (m *Monitor[B]) IngestEpoch(epoch int64, batch []B) (*Report, error) {
+	if epoch < m.epoch {
+		return nil, fmt.Errorf("stream: epoch %d regresses below %d", epoch, m.epoch)
+	}
+	m.epoch = epoch
+	if _, err := m.eng.ingest(batch, epoch); err != nil {
+		return nil, err
+	}
+
+	// Advance the window: subtract expired batches, keep the new one.
+	if m.opts.EpochWindow > 0 {
+		for m.eng.batches() > 0 && m.eng.frontEpoch() <= epoch-m.opts.EpochWindow {
+			m.eng.expire()
+		}
+	} else if !m.opts.Tumbling {
+		for m.eng.batches() > m.opts.WindowBatches {
+			m.eng.expire()
+		}
+	} else if m.eng.batches() < m.opts.WindowBatches {
+		return nil, nil // tumbling window still filling
+	}
+
+	// A PreviousWindow monitor without reference data promotes its first
+	// complete window to the initial reference.
+	if m.opts.PreviousWindow && !m.eng.hasRef() {
+		if err := m.eng.snapshot(); err != nil {
+			return nil, err
+		}
+		if m.opts.Tumbling {
+			m.eng.clear()
+		}
+		return nil, nil
+	}
+
+	meas, err := m.eng.emit()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Seq:       m.seq,
+		Epoch:     epoch,
+		Batches:   m.eng.batches(),
+		N:         m.eng.windowN(),
+		RefN:      meas.refN,
+		Regions:   meas.regions,
+		Deviation: meas.dev,
+		Alert:     m.opts.Threshold > 0 && meas.dev >= m.opts.Threshold,
+	}
+	if m.opts.Qualify {
+		q, err := m.eng.qualify(meas.dev, m.opts.Seed+int64(m.seq))
+		if err != nil {
+			return nil, err
+		}
+		rep.Qual = q
+	}
+	if m.opts.PreviousWindow {
+		if err := m.eng.snapshot(); err != nil {
+			return nil, err
+		}
+	}
+	if m.opts.Tumbling {
+		m.eng.clear()
+	}
+	m.seq++
+	m.last = rep
+	if rep.Alert && m.opts.OnAlert != nil {
+		m.opts.OnAlert(*rep)
+	}
+	return rep, nil
+}
+
+// Epoch returns the epoch of the most recent ingest.
+func (m *Monitor[B]) Epoch() int64 { return m.epoch }
+
+// Reports returns the number of reports emitted so far.
+func (m *Monitor[B]) Reports() int { return m.seq }
+
+// Last returns the most recent report, or nil before the first emission.
+func (m *Monitor[B]) Last() *Report {
+	if m.last == nil {
+		return nil
+	}
+	cp := *m.last
+	return &cp
+}
+
+// WindowBatches returns the number of batches currently in the window.
+func (m *Monitor[B]) WindowBatches() int { return m.eng.batches() }
+
+// WindowN returns the number of transactions/tuples currently in the
+// window.
+func (m *Monitor[B]) WindowN() int { return m.eng.windowN() }

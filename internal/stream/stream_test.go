@@ -1,0 +1,686 @@
+package stream
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"focus/internal/classgen"
+	"focus/internal/cluster"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/txn"
+)
+
+// ---------- window-policy simulation ----------
+//
+// The equivalence tests rebuild every emitted window's model from its raw
+// batches through the batch public API and demand bit-identical deviations.
+// The simulator below independently tracks which batches the window policy
+// retains; scenario tests (TestSlidingWindowContents etc.) pin the policy
+// itself against hand-computed expectations.
+
+type simEntry struct {
+	idx   int
+	epoch int64
+}
+
+type sim struct {
+	opts    Options
+	win     []simEntry
+	prev    []int
+	hasPrev bool
+}
+
+// step mirrors Monitor.IngestEpoch's window policy over batch indices. It
+// returns whether a report is emitted and, if so, the batch indices of the
+// window and of the reference (refIdx nil means the pinned reference).
+func (s *sim) step(idx int, epoch int64) (emit bool, winIdx, refIdx []int, refPinned bool) {
+	s.win = append(s.win, simEntry{idx, epoch})
+	if s.opts.EpochWindow > 0 {
+		for len(s.win) > 0 && s.win[0].epoch <= epoch-s.opts.EpochWindow {
+			s.win = s.win[1:]
+		}
+	} else if !s.opts.Tumbling {
+		for len(s.win) > s.opts.WindowBatches {
+			s.win = s.win[1:]
+		}
+	} else if len(s.win) < s.opts.WindowBatches {
+		return false, nil, nil, false
+	}
+	cur := make([]int, len(s.win))
+	for i, e := range s.win {
+		cur[i] = e.idx
+	}
+	if s.opts.PreviousWindow && !s.hasPrev {
+		s.prev = cur
+		s.hasPrev = true
+		if s.opts.Tumbling {
+			s.win = nil
+		}
+		return false, nil, nil, false
+	}
+	winIdx = cur
+	if s.opts.PreviousWindow {
+		refIdx = s.prev
+		refPinned = s.prev == nil
+		s.prev = cur
+	} else {
+		refPinned = true
+	}
+	if s.opts.Tumbling {
+		s.win = nil
+	}
+	return true, winIdx, refIdx, refPinned
+}
+
+// policyCases returns the six window policies the equivalence tests sweep:
+// {sliding, tumbling, epoch-based} x {pinned reference, previous window}.
+func policyCases() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"sliding-pinned", Options{WindowBatches: 3}},
+		{"sliding-prev", Options{WindowBatches: 3, PreviousWindow: true}},
+		{"tumbling-pinned", Options{WindowBatches: 2, Tumbling: true}},
+		{"tumbling-prev", Options{WindowBatches: 2, Tumbling: true, PreviousWindow: true}},
+		{"epoch-pinned", Options{EpochWindow: 2}},
+		{"epoch-prev", Options{EpochWindow: 2, PreviousWindow: true}},
+	}
+}
+
+func fgCases() []struct {
+	name string
+	f    core.DiffFunc
+	g    core.AggFunc
+} {
+	return []struct {
+		name string
+		f    core.DiffFunc
+		g    core.AggFunc
+	}{
+		{"fa-sum", core.AbsoluteDiff, core.Sum},
+		{"fa-max", core.AbsoluteDiff, core.Max},
+		{"fs-sum", core.ScaledDiff, core.Sum},
+		{"fs-max", core.ScaledDiff, core.Max},
+	}
+}
+
+// epochs: two batches share each epoch, driving real multi-batch expiry in
+// the epoch-based policies.
+func epochOf(i int) int64 { return int64(i / 2) }
+
+// ---------- random data ----------
+
+func randTxnBatches(seed int64, batches, size, numItems, maxLen int) [][]txn.Transaction {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]txn.Transaction, batches)
+	for b := range out {
+		out[b] = make([]txn.Transaction, size)
+		for i := range out[b] {
+			t := make(txn.Transaction, 1+rng.Intn(maxLen))
+			for j := range t {
+				t[j] = txn.Item(rng.Intn(numItems))
+			}
+			out[b][i] = t.Normalize()
+		}
+	}
+	return out
+}
+
+func concatTxns(numItems int, batches [][]txn.Transaction, idx []int) *txn.Dataset {
+	d := txn.New(numItems)
+	for _, i := range idx {
+		d.Add(batches[i]...)
+	}
+	return d
+}
+
+func classBatches(t *testing.T, fns []classgen.Function, size int, seed int64) [][]dataset.Tuple {
+	t.Helper()
+	out := make([][]dataset.Tuple, len(fns))
+	for i, fn := range fns {
+		d, err := classgen.Generate(classgen.Config{NumTuples: size, Function: fn, Seed: seed + int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = d.Tuples
+	}
+	return out
+}
+
+func concatTuples(s *dataset.Schema, batches [][]dataset.Tuple, idx []int) *dataset.Dataset {
+	d := dataset.New(s)
+	for _, i := range idx {
+		d.Add(batches[i]...)
+	}
+	return d
+}
+
+// ---------- equivalence: monitor == rebuild from raw batches ----------
+
+// TestLitsMonitorEquivalence is the acceptance test of the incremental
+// contract for lits-models: at every emission, for every window policy,
+// f/g combination and parallelism in {1,4}, the monitor's deviation is
+// bit-identical (==) to mining the window's model from its raw batches and
+// running the batch LitsDeviation.
+func TestLitsMonitorEquivalence(t *testing.T) {
+	const (
+		numItems   = 30
+		minSupport = 0.06
+	)
+	batches := randTxnBatches(11, 7, 50, numItems, 8)
+	ref := concatTxns(numItems, randTxnBatches(12, 3, 60, numItems, 8), []int{0, 1, 2})
+
+	for _, pc := range policyCases() {
+		for _, fg := range fgCases() {
+			for _, par := range []int{1, 4} {
+				opts := pc.opts
+				opts.F, opts.G, opts.Parallelism = fg.f, fg.g, par
+				name := pc.name + "/" + fg.name + "/par" + string(rune('0'+par))
+				mon, err := NewLitsMonitor(ref, minSupport, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				// The lits monitor always has a pinned initial reference.
+				s := &sim{opts: opts, hasPrev: true}
+				emitted := 0
+				for i, b := range batches {
+					rep, err := mon.IngestEpoch(epochOf(i), b)
+					if err != nil {
+						t.Fatalf("%s: ingest %d: %v", name, i, err)
+					}
+					emit, winIdx, refIdx, refPinned := s.step(i, epochOf(i))
+					if emit != (rep != nil) {
+						t.Fatalf("%s: ingest %d: emitted=%v, want %v", name, i, rep != nil, emit)
+					}
+					if rep == nil {
+						continue
+					}
+					emitted++
+					winData := concatTxns(numItems, batches, winIdx)
+					refData := ref
+					if !refPinned {
+						refData = concatTxns(numItems, batches, refIdx)
+					}
+					m1, err := core.MineLitsP(refData, minSupport, par)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m2, err := core.MineLitsP(winData, minSupport, par)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := core.LitsDeviation(m1, m2, refData, winData, fg.f, fg.g, core.LitsOptions{Parallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Deviation != want {
+						t.Errorf("%s: ingest %d: incremental deviation %v != rebuilt %v", name, i, rep.Deviation, want)
+					}
+					if rep.N != winData.Len() || rep.RefN != refData.Len() || rep.Batches != len(winIdx) {
+						t.Errorf("%s: ingest %d: report N=%d RefN=%d Batches=%d, want %d/%d/%d",
+							name, i, rep.N, rep.RefN, rep.Batches, winData.Len(), refData.Len(), len(winIdx))
+					}
+				}
+				if emitted == 0 {
+					t.Errorf("%s: no reports emitted", name)
+				}
+			}
+		}
+	}
+}
+
+// TestDTMonitorEquivalence: same contract for dt-models over a pinned
+// tree, against DTDeviationOverTreeP on the rebuilt window.
+func TestDTMonitorEquivalence(t *testing.T) {
+	train, err := classgen.Generate(classgen.Config{NumTuples: 1500, Function: classgen.F2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtree.Build(train, dtree.Config{MaxDepth: 5, MinLeaf: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refD, err := classgen.Generate(classgen.Config{NumTuples: 800, Function: classgen.F2, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := classBatches(t,
+		[]classgen.Function{classgen.F2, classgen.F2, classgen.F3, classgen.F2, classgen.F1, classgen.F2, classgen.F3},
+		150, 30)
+
+	for _, pc := range policyCases() {
+		for _, fg := range fgCases() {
+			for _, par := range []int{1, 4} {
+				opts := pc.opts
+				opts.F, opts.G, opts.Parallelism = fg.f, fg.g, par
+				name := pc.name + "/" + fg.name + "/par" + string(rune('0'+par))
+				// Exercise both reference styles: pinned-reference
+				// policies get ref data, previous-window policies start
+				// without any.
+				var ref *dataset.Dataset
+				if !opts.PreviousWindow {
+					ref = refD
+				}
+				mon, err := NewDTMonitor(tree, ref, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				s := &sim{opts: opts, hasPrev: ref != nil}
+				emitted := 0
+				for i, b := range batches {
+					rep, err := mon.IngestEpoch(epochOf(i), b)
+					if err != nil {
+						t.Fatalf("%s: ingest %d: %v", name, i, err)
+					}
+					emit, winIdx, refIdx, refPinned := s.step(i, epochOf(i))
+					if emit != (rep != nil) {
+						t.Fatalf("%s: ingest %d: emitted=%v, want %v", name, i, rep != nil, emit)
+					}
+					if rep == nil {
+						continue
+					}
+					emitted++
+					winData := concatTuples(tree.Schema, batches, winIdx)
+					refData := refD
+					if !refPinned {
+						refData = concatTuples(tree.Schema, batches, refIdx)
+					}
+					want, err := core.DTDeviationOverTreeP(tree, refData, winData, fg.f, fg.g, par)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Deviation != want {
+						t.Errorf("%s: ingest %d: incremental deviation %v != rebuilt %v", name, i, rep.Deviation, want)
+					}
+				}
+				if emitted == 0 {
+					t.Errorf("%s: no reports emitted", name)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterMonitorEquivalence: same contract for cluster-models — the
+// window model is re-induced from aggregated cell counts and must match
+// BuildClusterModel + ClusterDeviationWith on the rebuilt window.
+func TestClusterMonitorEquivalence(t *testing.T) {
+	schema := classgen.Schema()
+	grid, err := cluster.NewGrid(schema, []int{classgen.AttrSalary, classgen.AttrAge}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minDensity = 0.02
+	refD, err := classgen.Generate(classgen.Config{NumTuples: 900, Function: classgen.F1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := classBatches(t,
+		[]classgen.Function{classgen.F1, classgen.F1, classgen.F4, classgen.F1, classgen.F3, classgen.F1, classgen.F4},
+		140, 50)
+
+	for _, pc := range policyCases() {
+		for _, fg := range fgCases() {
+			for _, par := range []int{1, 4} {
+				opts := pc.opts
+				opts.F, opts.G, opts.Parallelism = fg.f, fg.g, par
+				name := pc.name + "/" + fg.name + "/par" + string(rune('0'+par))
+				var ref *dataset.Dataset
+				if !opts.PreviousWindow {
+					ref = refD
+				}
+				mon, err := NewClusterMonitor(grid, minDensity, ref, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				s := &sim{opts: opts, hasPrev: ref != nil}
+				emitted := 0
+				for i, b := range batches {
+					rep, err := mon.IngestEpoch(epochOf(i), b)
+					if err != nil {
+						t.Fatalf("%s: ingest %d: %v", name, i, err)
+					}
+					emit, winIdx, refIdx, refPinned := s.step(i, epochOf(i))
+					if emit != (rep != nil) {
+						t.Fatalf("%s: ingest %d: emitted=%v, want %v", name, i, rep != nil, emit)
+					}
+					if rep == nil {
+						continue
+					}
+					emitted++
+					winData := concatTuples(schema, batches, winIdx)
+					refData := refD
+					if !refPinned {
+						refData = concatTuples(schema, batches, refIdx)
+					}
+					m1, err := core.BuildClusterModel(refData, grid, minDensity)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m2, err := core.BuildClusterModel(winData, grid, minDensity)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := core.ClusterDeviationWith(m1, m2, refData, winData, fg.f, fg.g, core.ClusterOptions{Parallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Deviation != want {
+						t.Errorf("%s: ingest %d: incremental deviation %v != rebuilt %v", name, i, rep.Deviation, want)
+					}
+				}
+				if emitted == 0 {
+					t.Errorf("%s: no reports emitted", name)
+				}
+			}
+		}
+	}
+}
+
+// ---------- window-policy scenarios ----------
+
+func TestSlidingWindowContents(t *testing.T) {
+	batches := randTxnBatches(5, 5, 10, 20, 5)
+	ref := concatTxns(20, batches, []int{0})
+	mon, err := NewLitsMonitor(ref, 0.1, Options{WindowBatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := []int{1, 2, 2, 2, 2}
+	for i, b := range batches {
+		rep, err := mon.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == nil {
+			t.Fatalf("ingest %d: sliding window must emit every time", i)
+		}
+		if rep.Batches != wantBatches[i] || rep.N != wantBatches[i]*10 {
+			t.Errorf("ingest %d: Batches=%d N=%d, want %d/%d", i, rep.Batches, rep.N, wantBatches[i], wantBatches[i]*10)
+		}
+		if rep.Seq != i {
+			t.Errorf("ingest %d: Seq=%d", i, rep.Seq)
+		}
+	}
+}
+
+func TestTumblingWindowEmitsOnFull(t *testing.T) {
+	batches := randTxnBatches(6, 6, 10, 20, 5)
+	ref := concatTxns(20, batches, []int{0})
+	mon, err := NewLitsMonitor(ref, 0.1, Options{WindowBatches: 3, Tumbling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches {
+		rep, err := mon.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEmit := i%3 == 2
+		if (rep != nil) != wantEmit {
+			t.Fatalf("ingest %d: emitted=%v, want %v", i, rep != nil, wantEmit)
+		}
+		if rep != nil && (rep.Batches != 3 || rep.N != 30) {
+			t.Errorf("ingest %d: Batches=%d N=%d, want 3/30", i, rep.Batches, rep.N)
+		}
+	}
+	if mon.WindowBatches() != 0 {
+		t.Errorf("tumbled window still holds %d batches", mon.WindowBatches())
+	}
+}
+
+func TestEpochWindowExpiry(t *testing.T) {
+	batches := randTxnBatches(7, 6, 10, 20, 5)
+	ref := concatTxns(20, batches, []int{0})
+	mon, err := NewLitsMonitor(ref, 0.1, Options{EpochWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epochs 0,0,1,3,3,4: the jump from 1 to 3 expires everything older.
+	epochs := []int64{0, 0, 1, 3, 3, 4}
+	wantBatches := []int{1, 2, 3, 1, 2, 3}
+	for i, b := range batches {
+		rep, err := mon.IngestEpoch(epochs[i], b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Batches != wantBatches[i] {
+			t.Errorf("ingest %d (epoch %d): Batches=%d, want %d", i, epochs[i], rep.Batches, wantBatches[i])
+		}
+	}
+}
+
+// ---------- behavior ----------
+
+func TestMonitorAlertOnDrift(t *testing.T) {
+	train, err := classgen.Generate(classgen.Config{NumTuples: 3000, Function: classgen.F1, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtree.Build(train, dtree.Config{MaxDepth: 6, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts []Report
+	mon, err := NewDTMonitor(tree, train, Options{
+		WindowBatches: 1,
+		Threshold:     0.15,
+		OnAlert:       func(r Report) { alerts = append(alerts, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := classgen.Generate(classgen.Config{NumTuples: 1000, Function: classgen.F1, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift, err := classgen.Generate(classgen.Config{NumTuples: 1000, Function: classgen.F3, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSame, err := mon.Ingest(same.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repDrift, err := mon.Ingest(drift.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSame.Alert {
+		t.Errorf("same-process batch alerted (deviation %v)", repSame.Deviation)
+	}
+	if !repDrift.Alert {
+		t.Errorf("drift batch did not alert (deviation %v)", repDrift.Deviation)
+	}
+	if len(alerts) != 1 || alerts[0].Seq != repDrift.Seq {
+		t.Errorf("OnAlert calls = %+v", alerts)
+	}
+	if repSame.Deviation >= repDrift.Deviation {
+		t.Errorf("deviation(same) %v >= deviation(drift) %v", repSame.Deviation, repDrift.Deviation)
+	}
+}
+
+func TestMonitorQualifyDeterministic(t *testing.T) {
+	batches := randTxnBatches(71, 3, 40, 25, 6)
+	ref := concatTxns(25, randTxnBatches(72, 2, 60, 25, 6), []int{0, 1})
+	run := func() []Report {
+		mon, err := NewLitsMonitor(ref, 0.08, Options{WindowBatches: 2, Qualify: true, Replicates: 19, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Report
+		for _, b := range batches {
+			rep, err := mon.Ingest(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, *rep)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Qual == nil || b[i].Qual == nil {
+			t.Fatalf("report %d: missing qualification", i)
+		}
+		if a[i].Deviation != b[i].Deviation || a[i].Qual.Significance != b[i].Qual.Significance {
+			t.Errorf("report %d not deterministic: %v/%v vs %v/%v",
+				i, a[i].Deviation, a[i].Qual.Significance, b[i].Deviation, b[i].Qual.Significance)
+		}
+		if a[i].Qual.Deviation != a[i].Deviation {
+			t.Errorf("report %d: Qual.Deviation %v != Deviation %v", i, a[i].Qual.Deviation, a[i].Deviation)
+		}
+		if s := a[i].Qual.Significance; s < 0 || s > 100 {
+			t.Errorf("report %d: significance %v outside [0,100]", i, s)
+		}
+		if len(a[i].Qual.Null) != 19 {
+			t.Errorf("report %d: null size %d", i, len(a[i].Qual.Null))
+		}
+	}
+	// Successive emissions must draw distinct seeds: two reports with the
+	// same data would otherwise share a null verbatim.
+	if len(a) >= 2 && a[0].Seq == a[1].Seq {
+		t.Error("sequence numbers did not advance")
+	}
+}
+
+func TestMonitorEpochRegressionError(t *testing.T) {
+	batches := randTxnBatches(81, 2, 10, 20, 5)
+	ref := concatTxns(20, batches, []int{0})
+	mon, err := NewLitsMonitor(ref, 0.1, Options{WindowBatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.IngestEpoch(5, batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.IngestEpoch(4, batches[1]); err == nil {
+		t.Fatal("regressing epoch did not error")
+	}
+}
+
+func TestMonitorInvalidBatch(t *testing.T) {
+	ref := concatTxns(10, randTxnBatches(91, 1, 10, 10, 4), []int{0})
+	mon, err := NewLitsMonitor(ref, 0.1, Options{WindowBatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Ingest([]txn.Transaction{{3, 99}}); err == nil {
+		t.Fatal("out-of-universe item did not error")
+	} else if !strings.Contains(err.Error(), "invalid batch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	train, err := classgen.Generate(classgen.Config{NumTuples: 600, Function: classgen.F1, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtree.Build(train, dtree.Config{MaxDepth: 4, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmon, err := NewDTMonitor(tree, train, Options{WindowBatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dmon.Ingest([]dataset.Tuple{{1, 2}}); err == nil {
+		t.Fatal("wrong-arity tuple did not error")
+	}
+}
+
+func TestMonitorOptionValidation(t *testing.T) {
+	ref := concatTxns(10, randTxnBatches(93, 1, 10, 10, 4), []int{0})
+	if _, err := NewLitsMonitor(ref, 0.1, Options{}); err == nil {
+		t.Error("WindowBatches 0 without EpochWindow did not error")
+	}
+	if _, err := NewLitsMonitor(ref, 0.1, Options{EpochWindow: 2, Tumbling: true}); err == nil {
+		t.Error("tumbling epoch window did not error")
+	}
+	if _, err := NewLitsMonitor(ref, 0.1, Options{EpochWindow: 2, WindowBatches: 3}); err == nil {
+		t.Error("both window kinds did not error")
+	}
+	if _, err := NewLitsMonitor(ref, 1.5, Options{WindowBatches: 1}); err == nil {
+		t.Error("minSupport > 1 did not error")
+	}
+	if _, err := NewLitsMonitor(nil, 0.1, Options{WindowBatches: 1}); err == nil {
+		t.Error("nil lits reference did not error")
+	}
+	if _, err := NewDTMonitor(nil, nil, Options{WindowBatches: 1}); err == nil {
+		t.Error("nil tree did not error")
+	}
+	train, err := classgen.Generate(classgen.Config{NumTuples: 600, Function: classgen.F1, Seed: 94})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtree.Build(train, dtree.Config{MaxDepth: 4, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDTMonitor(tree, nil, Options{WindowBatches: 1}); err == nil {
+		t.Error("dt monitor without reference or PreviousWindow did not error")
+	}
+	grid, err := cluster.NewGrid(classgen.Schema(), []int{classgen.AttrSalary}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClusterMonitor(grid, 0.1, nil, Options{WindowBatches: 1}); err == nil {
+		t.Error("cluster monitor without reference or PreviousWindow did not error")
+	}
+	if _, err := NewClusterMonitor(nil, 0.1, train, Options{WindowBatches: 1}); err == nil {
+		t.Error("nil grid did not error")
+	}
+}
+
+// The per-batch caches must make a stable candidate set cheap: after the
+// first emission, re-emitting over the same batches must not rescan them.
+// This is observable through the cache contents: every GCR itemset is
+// cached in every retained batch after one emission.
+func TestLitsWindowCachesCounts(t *testing.T) {
+	batches := randTxnBatches(95, 3, 30, 20, 6)
+	ref := concatTxns(20, randTxnBatches(96, 2, 40, 20, 6), []int{0, 1})
+	mon, err := NewLitsMonitor(ref, 0.08, Options{WindowBatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := mon.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := mon.eng.(*litsEngine)
+	for i, b := range eng.live.batchList {
+		cached := 0
+		for _, c := range b.counts {
+			if c >= 0 {
+				cached++
+			}
+		}
+		if cached == 0 {
+			t.Errorf("batch %d: empty candidate cache after emission", i)
+		}
+	}
+	// The window aggregate must track the batches exactly.
+	wantN := 0
+	items := make([]int, 20)
+	for _, b := range eng.live.batchList {
+		wantN += b.data.Len()
+		for j, v := range b.items {
+			items[j] += v
+		}
+	}
+	if eng.live.n != wantN {
+		t.Errorf("window n=%d, want %d", eng.live.n, wantN)
+	}
+	for j := range items {
+		if items[j] != eng.live.items[j] {
+			t.Fatalf("windowed item counts diverged at item %d: %d != %d", j, eng.live.items[j], items[j])
+		}
+	}
+}

@@ -264,6 +264,11 @@ func Read(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("txn: parsing universe size: %w", err)
 	}
+	if numItems < 0 {
+		// A negative universe would slip through Validate on an empty
+		// dataset and panic later in counter allocations.
+		return nil, fmt.Errorf("txn: negative universe size %d", numItems)
+	}
 	d := New(numItems)
 	for line := 2; sc.Scan(); line++ {
 		text := sc.Text()
@@ -279,6 +284,11 @@ func Read(r io.Reader) (*Dataset, error) {
 					v, err := strconv.Atoi(text[start:i])
 					if err != nil {
 						return nil, fmt.Errorf("txn: line %d: %w", line, err)
+					}
+					// Range-check before the Item conversion: a value past
+					// int32 would otherwise wrap silently into the universe.
+					if v < 0 || v >= numItems {
+						return nil, fmt.Errorf("txn: line %d: item %d outside universe [0,%d)", line, v, numItems)
 					}
 					t = append(t, Item(v))
 				}
