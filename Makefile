@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same targets.
+
+.PHONY: build test race vet api apicheck bench ci
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# api regenerates the checked-in public API surface baseline. Run it after
+# an intentional API change and commit the diff; the apicheck CI job fails
+# on any undeclared drift, so public-surface changes are always explicit in
+# review.
+api:
+	go doc -all . > api/focus.txt
+
+# apicheck diffs the live API surface against the baseline.
+apicheck:
+	go doc -all . | diff -u api/focus.txt - || (echo "public API drifted: run 'make api' and commit api/focus.txt" && exit 1)
+
+bench:
+	go test -run XXX -bench . -benchtime 1x ./...
+
+ci: build vet test apicheck

@@ -145,6 +145,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 }
 
+// qualifyOptions assembles the unified bootstrap options shared by every
+// batch mode.
+func qualifyOptions(cfg *config) []core.Option {
+	return []core.Option{core.WithReplicates(cfg.replicates), core.WithSeed(cfg.seed)}
+}
+
 func runLits(cfg *config, path1, path2 string, w io.Writer) error {
 	d1, err := readTxns(path1)
 	if err != nil {
@@ -154,15 +160,16 @@ func runLits(cfg *config, path1, path2 string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m1, err := core.MineLitsP(d1, cfg.minsup, 0)
+	mc := core.Lits(cfg.minsup)
+	m1, err := mc.Induce(d1, 0)
 	if err != nil {
 		return err
 	}
-	m2, err := core.MineLitsP(d2, cfg.minsup, 0)
+	m2, err := mc.Induce(d2, 0)
 	if err != nil {
 		return err
 	}
-	dev, err := core.LitsDeviation(m1, m2, d1, d2, cfg.f, cfg.g, core.LitsOptions{})
+	dev, err := core.Deviation(mc, m1, m2, d1, d2, cfg.f, cfg.g)
 	if err != nil {
 		return err
 	}
@@ -172,7 +179,7 @@ func runLits(cfg *config, path1, path2 string, w io.Writer) error {
 		fmt.Fprintf(w, "upper bound delta*(%s) = %.6f (no dataset scan)\n", cfg.gName, core.LitsUpperBound(m1, m2, cfg.g))
 	}
 	if cfg.qualify {
-		q, err := core.QualifyLits(d1, d2, cfg.minsup, cfg.f, cfg.g, core.QualifyOptions{Replicates: cfg.replicates, Seed: cfg.seed})
+		q, err := core.Qualify(mc, d1, d2, cfg.f, cfg.g, qualifyOptions(cfg)...)
 		if err != nil {
 			return err
 		}
@@ -191,23 +198,23 @@ func runDT(cfg *config, path1, path2 string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tcfg := dtree.Config{MaxDepth: cfg.maxDepth, MinLeaf: cfg.minLeaf}
-	m1, err := core.BuildDTModel(d1, tcfg)
+	mc := core.DT(dtree.Config{MaxDepth: cfg.maxDepth, MinLeaf: cfg.minLeaf})
+	m1, err := mc.Induce(d1, 0)
 	if err != nil {
 		return err
 	}
-	m2, err := core.BuildDTModel(d2, tcfg)
+	m2, err := mc.Induce(d2, 0)
 	if err != nil {
 		return err
 	}
-	dev, err := core.DTDeviation(m1, m2, d1, d2, cfg.f, cfg.g, core.DTOptions{})
+	dev, err := core.Deviation(mc, m1, m2, d1, d2, cfg.f, cfg.g)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "dt-models: %d and %d leaves\n", m1.Tree.NumLeaves(), m2.Tree.NumLeaves())
 	fmt.Fprintf(w, "deviation delta(%s,%s) = %.6f\n", cfg.fName, cfg.gName, dev)
 	if cfg.qualify {
-		q, err := core.QualifyDT(d1, d2, tcfg, cfg.f, cfg.g, core.QualifyOptions{Replicates: cfg.replicates, Seed: cfg.seed})
+		q, err := core.Qualify(mc, d1, d2, cfg.f, cfg.g, qualifyOptions(cfg)...)
 		if err != nil {
 			return err
 		}
@@ -217,9 +224,6 @@ func runDT(cfg *config, path1, path2 string, w io.Writer) error {
 }
 
 func runCluster(cfg *config, path1, path2 string, w io.Writer) error {
-	if cfg.qualify {
-		return errors.New("-qualify is not supported for batch cluster mode (use -follow)")
-	}
 	schema := classgen.Schema()
 	grid, err := gridFromFlags(cfg, schema)
 	if err != nil {
@@ -233,21 +237,31 @@ func runCluster(cfg *config, path1, path2 string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m1, err := core.BuildClusterModel(d1, grid, cfg.minDensity)
+	mc := core.Cluster(grid, cfg.minDensity)
+	m1, err := mc.Induce(d1, 0)
 	if err != nil {
 		return err
 	}
-	m2, err := core.BuildClusterModel(d2, grid, cfg.minDensity)
+	m2, err := mc.Induce(d2, 0)
 	if err != nil {
 		return err
 	}
-	dev, err := core.ClusterDeviationWith(m1, m2, d1, d2, cfg.f, cfg.g, core.ClusterOptions{})
+	dev, err := core.Deviation(mc, m1, m2, d1, d2, cfg.f, cfg.g)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "cluster-models: %d and %d clusters over %s (%d bins, mindensity %g)\n",
 		m1.NumClusters(), m2.NumClusters(), cfg.attrs, cfg.bins, cfg.minDensity)
 	fmt.Fprintf(w, "deviation delta(%s,%s) = %.6f\n", cfg.fName, cfg.gName, dev)
+	if cfg.qualify {
+		// Cluster-model qualification exists only through the unified
+		// pipeline: the per-class API never had it.
+		q, err := core.Qualify(mc, d1, d2, cfg.f, cfg.g, qualifyOptions(cfg)...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "significance sig(delta) = %.1f%% (bootstrap, %d replicates)\n", q.Significance, len(q.Null))
+	}
 	return nil
 }
 
@@ -309,14 +323,14 @@ func runLitsFollow(cfg *config, refPath, streamPath string, w io.Writer) error {
 	if sd.NumItems != ref.NumItems {
 		return fmt.Errorf("stream universe %d != reference universe %d", sd.NumItems, ref.NumItems)
 	}
-	mon, err := stream.NewLitsMonitor(ref, cfg.minsup, monitorOptions(cfg))
+	mon, err := stream.New(core.Lits(cfg.minsup), ref, monitorOptions(cfg))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "following %d transactions in batches of %d (lits, window %d%s)\n",
 		sd.Len(), cfg.batch, cfg.window, followModeSuffix(cfg))
 	return replay(cfg, len(sd.Txns), w, func(lo, hi int) (*stream.Report, error) {
-		return mon.Ingest(sd.Txns[lo:hi])
+		return mon.Ingest(&txn.Dataset{NumItems: ref.NumItems, Txns: sd.Txns[lo:hi]})
 	})
 }
 
@@ -334,14 +348,14 @@ func runDTFollow(cfg *config, refPath, streamPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	mon, err := stream.NewDTMonitor(tree, ref, monitorOptions(cfg))
+	mon, err := stream.New(core.PinnedDT(tree), ref, monitorOptions(cfg))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "following %d tuples in batches of %d (dt over %d leaves, window %d%s)\n",
 		sd.Len(), cfg.batch, tree.NumLeaves(), cfg.window, followModeSuffix(cfg))
 	return replay(cfg, len(sd.Tuples), w, func(lo, hi int) (*stream.Report, error) {
-		return mon.Ingest(sd.Tuples[lo:hi])
+		return mon.Ingest(dataset.FromTuples(schema, sd.Tuples[lo:hi]))
 	})
 }
 
@@ -359,14 +373,14 @@ func runClusterFollow(cfg *config, refPath, streamPath string, w io.Writer) erro
 	if err != nil {
 		return err
 	}
-	mon, err := stream.NewClusterMonitor(grid, cfg.minDensity, ref, monitorOptions(cfg))
+	mon, err := stream.New(core.Cluster(grid, cfg.minDensity), ref, monitorOptions(cfg))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "following %d tuples in batches of %d (cluster over %s, window %d%s)\n",
 		sd.Len(), cfg.batch, cfg.attrs, cfg.window, followModeSuffix(cfg))
 	return replay(cfg, len(sd.Tuples), w, func(lo, hi int) (*stream.Report, error) {
-		return mon.Ingest(sd.Tuples[lo:hi])
+		return mon.Ingest(dataset.FromTuples(schema, sd.Tuples[lo:hi]))
 	})
 }
 

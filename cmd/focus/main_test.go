@@ -151,6 +151,10 @@ func TestGolden(t *testing.T) {
 		{"cluster", []string{
 			"-model", "cluster", "-attrs", "salary,age", "-bins", "6", "-mindensity", "0.02", "-parallelism", "1",
 			refCSV, streamCSV}},
+		{"cluster-qualify", []string{
+			"-model", "cluster", "-attrs", "salary,age", "-bins", "6", "-mindensity", "0.02",
+			"-qualify", "-replicates", "19", "-seed", "7", "-parallelism", "1",
+			refCSV, streamCSV}},
 		{"lits-follow", []string{
 			"-model", "lits", "-follow", "-minsup", "0.02", "-batch", "200", "-window", "2", "-parallelism", "1",
 			refTxns, streamTxns}},
@@ -225,7 +229,6 @@ func TestRunErrors(t *testing.T) {
 		{"bad-f", []string{"-f", "zz", refTxns, refTxns}, "unknown difference function"},
 		{"bad-g", []string{"-g", "zz", refTxns, refTxns}, "unknown aggregate function"},
 		{"bad-attr", []string{"-model", "cluster", "-attrs", "nope", refCSV, streamCSV}, "unknown attribute"},
-		{"cluster-qualify", []string{"-model", "cluster", "-qualify", refCSV, streamCSV}, "not supported"},
 		{"missing-file", []string{"-model", "lits", refTxns, filepath.Join(t.TempDir(), "absent.txns")}, "absent"},
 		{"bad-batch", []string{"-model", "lits", "-follow", "-batch", "0", refTxns, refTxns}, "batch size"},
 	}
@@ -243,18 +246,17 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-// An unsupported flag combination must be rejected before any work: a
-// script capturing stdout must not receive a full-looking report from a
-// failed invocation.
-func TestClusterQualifyRejectedBeforeOutput(t *testing.T) {
-	refTxns, _, refCSV, streamCSV := inputs(t)
-	_ = refTxns
+// Cluster qualification — impossible before the unified pipeline — must be
+// deterministic and parallelism-invariant like every other mode.
+func TestClusterQualifyParallelismInvariant(t *testing.T) {
+	_, _, refCSV, streamCSV := inputs(t)
 	var buf bytes.Buffer
-	err := run([]string{"-model", "cluster", "-qualify", refCSV, streamCSV}, &buf)
-	if err == nil {
-		t.Fatal("cluster -qualify did not error")
+	args := []string{
+		"-model", "cluster", "-attrs", "salary,age", "-bins", "6", "-mindensity", "0.02",
+		"-qualify", "-replicates", "19", "-seed", "7", "-parallelism", "4",
+		refCSV, streamCSV}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
 	}
-	if buf.Len() != 0 {
-		t.Errorf("cluster -qualify printed %q before failing", buf.String())
-	}
+	checkGolden(t, "cluster-qualify", buf.Bytes())
 }

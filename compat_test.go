@@ -1,0 +1,393 @@
+package focus_test
+
+// The compatibility contract of the ModelClass refactor: every deprecated
+// per-class entry point is a thin wrapper over the unified generic
+// pipeline and produces bit-identical (==, not approximately equal)
+// results, across difference/aggregate functions and parallelism settings.
+
+import (
+	"testing"
+
+	"focus"
+	"focus/internal/classgen"
+)
+
+type fgCase struct {
+	name string
+	f    focus.DiffFunc
+	g    focus.AggFunc
+}
+
+func fgCases() []fgCase {
+	return []fgCase{
+		{"fa-sum", focus.AbsoluteDiff, focus.Sum},
+		{"fa-max", focus.AbsoluteDiff, focus.Max},
+		{"fs-sum", focus.ScaledDiff, focus.Sum},
+		{"fs-max", focus.ScaledDiff, focus.Max},
+	}
+}
+
+var parCases = []int{1, 4}
+
+func classData(t *testing.T, n int, fn classgen.Function, seed int64) *focus.Dataset {
+	t.Helper()
+	d, err := classgen.Generate(classgen.Config{NumTuples: n, Function: fn, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCompatLitsDeviation(t *testing.T) {
+	d1, d2, _ := facadeTxnData(t)
+	const ms = 0.03
+	lits := focus.Lits(ms)
+	m1, err := lits.Induce(d1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := lits.Induce(d2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := func(s focus.Itemset) bool { return len(s) >= 2 }
+	for _, fg := range fgCases() {
+		for _, par := range parCases {
+			old, err := focus.LitsDeviation(m1, m2, d1, d2, fg.f, fg.g, focus.LitsOptions{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			unified, err := focus.Deviation(lits, m1, m2, d1, d2, fg.f, fg.g, focus.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if old != unified {
+				t.Errorf("%s/par%d: LitsDeviation %v != Deviation %v", fg.name, par, old, unified)
+			}
+			oldF, err := focus.LitsDeviation(m1, m2, d1, d2, fg.f, fg.g, focus.LitsOptions{Focus: narrow, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			unifiedF, err := focus.Deviation(lits, m1, m2, d1, d2, fg.f, fg.g,
+				focus.WithFocusItemsets(narrow), focus.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oldF != unifiedF {
+				t.Errorf("%s/par%d: focussed LitsDeviation %v != Deviation %v", fg.name, par, oldF, unifiedF)
+			}
+		}
+	}
+}
+
+func TestCompatDTDeviation(t *testing.T) {
+	d1 := classData(t, 2500, classgen.F1, 301)
+	d2 := classData(t, 2000, classgen.F3, 302)
+	cfg := focus.TreeConfig{MaxDepth: 6, MinLeaf: 30}
+	dt := focus.DT(cfg)
+	m1, err := dt.Induce(d1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := dt.Induce(d2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	young := focus.FullRegion(classgen.Schema()).ConstrainUpper(classgen.AttrAge, 45)
+	for _, fg := range fgCases() {
+		for _, par := range parCases {
+			old, err := focus.DTDeviation(m1, m2, d1, d2, fg.f, fg.g, focus.DTOptions{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			unified, err := focus.Deviation(dt, m1, m2, d1, d2, fg.f, fg.g, focus.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if old != unified {
+				t.Errorf("%s/par%d: DTDeviation %v != Deviation %v", fg.name, par, old, unified)
+			}
+			oldF, err := focus.DTDeviation(m1, m2, d1, d2, fg.f, fg.g, focus.DTOptions{Focus: young, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			unifiedF, err := focus.Deviation(dt, m1, m2, d1, d2, fg.f, fg.g,
+				focus.WithFocus(young), focus.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oldF != unifiedF {
+				t.Errorf("%s/par%d: focussed DTDeviation %v != Deviation %v", fg.name, par, oldF, unifiedF)
+			}
+		}
+	}
+}
+
+func TestCompatClusterDeviation(t *testing.T) {
+	d1 := classData(t, 3000, classgen.F1, 303)
+	d2 := classData(t, 2500, classgen.F4, 304)
+	grid, err := focus.NewGrid(classgen.Schema(), []int{classgen.AttrSalary, classgen.AttrAge}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const md = 0.01
+	cl := focus.Cluster(grid, md)
+	m1, err := cl.Induce(d1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cl.Induce(d2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fg := range fgCases() {
+		for _, par := range parCases {
+			oldWith, err := focus.ClusterDeviationWith(m1, m2, d1, d2, fg.f, fg.g, focus.ClusterOptions{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			unified, err := focus.Deviation(cl, m1, m2, d1, d2, fg.f, fg.g, focus.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oldWith != unified {
+				t.Errorf("%s/par%d: ClusterDeviationWith %v != Deviation %v", fg.name, par, oldWith, unified)
+			}
+		}
+		// ClusterDeviation is the zero-options alias of ClusterDeviationWith.
+		alias, err := focus.ClusterDeviation(m1, m2, d1, d2, fg.f, fg.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonical, err := focus.ClusterDeviationWith(m1, m2, d1, d2, fg.f, fg.g, focus.ClusterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alias != canonical {
+			t.Errorf("%s: ClusterDeviation %v != ClusterDeviationWith %v", fg.name, alias, canonical)
+		}
+	}
+}
+
+func qualEqual(t *testing.T, name string, a, b focus.Qualification) {
+	t.Helper()
+	if a.Deviation != b.Deviation || a.Significance != b.Significance {
+		t.Errorf("%s: wrapper (%v, %v%%) != unified (%v, %v%%)",
+			name, a.Deviation, a.Significance, b.Deviation, b.Significance)
+	}
+	if len(a.Null) != len(b.Null) {
+		t.Fatalf("%s: null sizes %d != %d", name, len(a.Null), len(b.Null))
+	}
+	for i := range a.Null {
+		if a.Null[i] != b.Null[i] {
+			t.Fatalf("%s: null[%d] %v != %v", name, i, a.Null[i], b.Null[i])
+		}
+	}
+}
+
+func TestCompatQualifyLits(t *testing.T) {
+	d1, _, d3 := facadeTxnData(t)
+	const ms = 0.03
+	for _, par := range parCases {
+		old, err := focus.QualifyLits(d1, d3, ms, focus.AbsoluteDiff, focus.Sum,
+			focus.QualifyOptions{Replicates: 19, Seed: 7, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unified, err := focus.Qualify(focus.Lits(ms), d1, d3, focus.AbsoluteDiff, focus.Sum,
+			focus.WithReplicates(19), focus.WithSeed(7), focus.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qualEqual(t, "lits", old, unified)
+	}
+	// Extension nulls (|D2| >= |D1| with a shared prefix).
+	blk := focus.FromTransactions(d1.NumItems, d3.Txns[:500])
+	ext, err := d1.Concat(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := focus.QualifyLits(d1, ext, ms, focus.AbsoluteDiff, focus.Sum,
+		focus.QualifyOptions{Replicates: 19, Seed: 8, Extension: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unified, err := focus.Qualify(focus.Lits(ms), d1, ext, focus.AbsoluteDiff, focus.Sum,
+		focus.WithReplicates(19), focus.WithSeed(8), focus.WithExtension())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qualEqual(t, "lits-extension", old, unified)
+}
+
+func TestCompatQualifyDT(t *testing.T) {
+	d1 := classData(t, 1500, classgen.F1, 305)
+	d2 := classData(t, 1500, classgen.F2, 306)
+	cfg := focus.TreeConfig{MaxDepth: 5, MinLeaf: 40}
+	for _, par := range parCases {
+		old, err := focus.QualifyDT(d1, d2, cfg, focus.AbsoluteDiff, focus.Sum,
+			focus.QualifyOptions{Replicates: 19, Seed: 9, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unified, err := focus.Qualify(focus.DT(cfg), d1, d2, focus.AbsoluteDiff, focus.Sum,
+			focus.WithReplicates(19), focus.WithSeed(9), focus.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qualEqual(t, "dt", old, unified)
+	}
+}
+
+// QualifyCluster — impossible through the per-class API — must at least be
+// deterministic, parallelism-invariant, and consistent with the unified
+// deviation.
+func TestClusterQualification(t *testing.T) {
+	d1 := classData(t, 2000, classgen.F1, 307)
+	d2 := classData(t, 1800, classgen.F3, 308)
+	grid, err := focus.NewGrid(classgen.Schema(), []int{classgen.AttrSalary, classgen.AttrAge}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := focus.Cluster(grid, 0.01)
+	q1, err := focus.Qualify(cl, d1, d2, focus.AbsoluteDiff, focus.Sum,
+		focus.WithReplicates(19), focus.WithSeed(11), focus.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4, err := focus.Qualify(cl, d1, d2, focus.AbsoluteDiff, focus.Sum,
+		focus.WithReplicates(19), focus.WithSeed(11), focus.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qualEqual(t, "cluster par1-vs-par4", q1, q4)
+	m1, err := cl.Induce(d1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cl.Induce(d2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := focus.Deviation(cl, m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Deviation != dev {
+		t.Errorf("qualified deviation %v != Deviation %v", q1.Deviation, dev)
+	}
+	if q1.Significance < 0 || q1.Significance > 100 {
+		t.Errorf("significance %v outside [0,100]", q1.Significance)
+	}
+}
+
+func reportsEqual(t *testing.T, name string, a, b *focus.MonitorReport) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: wrapper emitted=%v, unified emitted=%v", name, a != nil, b != nil)
+	}
+	if a == nil {
+		return
+	}
+	if a.Seq != b.Seq || a.Epoch != b.Epoch || a.Batches != b.Batches ||
+		a.N != b.N || a.RefN != b.RefN || a.Regions != b.Regions ||
+		a.Deviation != b.Deviation || a.Alert != b.Alert {
+		t.Errorf("%s: wrapper report %+v != unified %+v", name, a, b)
+	}
+	if (a.Qual == nil) != (b.Qual == nil) {
+		t.Fatalf("%s: qualification presence differs", name)
+	}
+	if a.Qual != nil && (a.Qual.Deviation != b.Qual.Deviation || a.Qual.Significance != b.Qual.Significance) {
+		t.Errorf("%s: wrapper qual (%v, %v%%) != unified (%v, %v%%)",
+			name, a.Qual.Deviation, a.Qual.Significance, b.Qual.Deviation, b.Qual.Significance)
+	}
+}
+
+func TestCompatMonitors(t *testing.T) {
+	// Lits: deprecated constructor vs NewMonitor(Lits(...)) over the same
+	// batch stream, with qualification on.
+	d1, d2, d3 := facadeTxnData(t)
+	const ms = 0.03
+	for _, par := range parCases {
+		opts := focus.MonitorOptions{WindowBatches: 2, Qualify: true, Replicates: 19, Seed: 5, Parallelism: par}
+		oldMon, err := focus.NewLitsMonitor(d1, ms, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newMon, err := focus.NewMonitor(focus.Lits(ms), d1, focus.WithConfig(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, batch := range [][]focus.Transaction{d2.Txns[:1000], d3.Txns[:1000], d2.Txns[1000:2000]} {
+			oldRep, err := oldMon.Ingest(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newRep, err := newMon.Ingest(focus.FromTransactions(d1.NumItems, batch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, "lits", oldRep, newRep)
+			if i == 0 && oldRep == nil {
+				t.Fatal("lits monitor emitted nothing")
+			}
+		}
+	}
+
+	// DT: pinned-tree monitor vs NewMonitor(PinnedDT(tree)), threshold
+	// alerts on.
+	train := classData(t, 3000, classgen.F1, 310)
+	model, err := focus.BuildDTModel(train, focus.TreeConfig{MaxDepth: 6, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtOpts := focus.MonitorOptions{WindowBatches: 2, Threshold: 0.15, F: focus.ScaledDiff, G: focus.Max}
+	oldDT, err := focus.NewDTMonitor(model.Tree, train, dtOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDT, err := focus.NewMonitor(focus.PinnedDT(model.Tree), train, focus.WithConfig(dtOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := classgen.Schema()
+	for i, fn := range []classgen.Function{classgen.F1, classgen.F3, classgen.F3} {
+		batch := classData(t, 700, fn, 311+int64(i))
+		oldRep, err := oldDT.Ingest(batch.Tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRep, err := newDT.Ingest(focus.FromTuples(schema, batch.Tuples))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, "dt", oldRep, newRep)
+	}
+
+	// Cluster: tumbling window, previous-window reference.
+	grid, err := focus.NewGrid(schema, []int{classgen.AttrSalary, classgen.AttrAge}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clOpts := focus.MonitorOptions{WindowBatches: 2, Tumbling: true, PreviousWindow: true}
+	oldCl, err := focus.NewClusterMonitor(grid, 0.02, nil, clOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCl, err := focus.NewMonitor(focus.Cluster(grid, 0.02), nil, focus.WithConfig(clOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fn := range []classgen.Function{classgen.F1, classgen.F1, classgen.F4, classgen.F1, classgen.F4, classgen.F4} {
+		batch := classData(t, 500, fn, 320+int64(i))
+		oldRep, err := oldCl.Ingest(batch.Tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRep, err := newCl.Ingest(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, "cluster", oldRep, newRep)
+	}
+}

@@ -1,0 +1,88 @@
+package focus_test
+
+// Testable examples of the unified ModelClass API, shown in godoc.
+
+import (
+	"fmt"
+	"log"
+
+	"focus"
+)
+
+// repeatTxns builds a deterministic dataset repeating a purchasing mix.
+func repeatTxns(reps int, mix []focus.Transaction) *focus.TxnDataset {
+	var txns []focus.Transaction
+	for i := 0; i < reps; i++ {
+		txns = append(txns, mix...)
+	}
+	return focus.FromTransactions(4, txns)
+}
+
+// The example mixes over a universe of four items: in week 2 the dominant
+// co-purchase {0,1} has given way to {2,3}.
+var (
+	week1Mix = []focus.Transaction{{0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 2}, {0, 2}, {1, 3}, {1, 3}}
+	week2Mix = []focus.Transaction{{2, 3}, {2, 3}, {2, 3}, {2, 3}, {0, 2}, {0, 2}, {1, 3}, {0, 1}}
+)
+
+func exampleData() (*focus.TxnDataset, *focus.TxnDataset) {
+	return repeatTxns(4, week1Mix), repeatTxns(4, week2Mix)
+}
+
+func ExampleDeviation() {
+	week1, week2 := exampleData()
+	lits := focus.Lits(0.25) // the lits-model class at 25% minimum support
+	m1, err := lits.Induce(week1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2, err := lits.Induce(week2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := focus.Deviation(lits, m1, m2, week1, week2, focus.AbsoluteDiff, focus.Sum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delta(fa,sum) = %.4f\n", dev)
+	// Output:
+	// delta(fa,sum) = 2.7500
+}
+
+func ExampleQualify() {
+	week1, week2 := exampleData()
+	q, err := focus.Qualify(focus.Lits(0.25), week1, week2, focus.AbsoluteDiff, focus.Sum,
+		focus.WithReplicates(99), focus.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deviation %.4f at significance %.0f%%\n", q.Deviation, q.Significance)
+	// Output:
+	// deviation 2.7500 at significance 100%
+}
+
+func ExampleNewMonitor() {
+	week1, _ := exampleData()
+	// Monitor a stream of batches against week1, alerting on drift.
+	mon, err := focus.NewMonitor(focus.Lits(0.25), week1,
+		focus.WithWindow(1), focus.WithThreshold(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Day 0 repeats week 1's purchasing mix exactly; day 1 drifts to the
+	// changed mix.
+	for day, batch := range []*focus.TxnDataset{repeatTxns(1, week1Mix), repeatTxns(1, week2Mix)} {
+		rep, err := mon.Ingest(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if rep.Alert {
+			status = "ALERT"
+		}
+		fmt.Printf("day %d: delta = %.4f over %d regions (%s)\n", day, rep.Deviation, rep.Regions, status)
+	}
+	// Output:
+	// day 0: delta = 0.0000 over 7 regions (ok)
+	// day 1: delta = 2.7500 over 8 regions (ALERT)
+}

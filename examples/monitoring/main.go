@@ -35,17 +35,20 @@ func main() {
 	}
 	fmt.Printf("trained dt-model on %d tuples: %d leaves\n\n", old.Len(), model.Tree.NumLeaves())
 
-	mon, err := focus.NewDTMonitor(model.Tree, old, focus.MonitorOptions{
-		WindowBatches: 3,    // sliding window over the last three days
-		Threshold:     0.15, // alert when delta(fa,sum) reaches this
-		Qualify:       true, // bootstrap sig(delta) for every report
-		Replicates:    49,
-		Seed:          42,
-		OnAlert: func(r focus.MonitorReport) {
+	// The unified monitor streams any model class; PinnedDT is the
+	// Section 5.2 instantiation imposing the trained tree's structure on
+	// the new data.
+	mon, err := focus.NewMonitor(focus.PinnedDT(model.Tree), old,
+		focus.WithWindow(3),       // sliding window over the last three days
+		focus.WithThreshold(0.15), // alert when delta(fa,sum) reaches this
+		focus.WithQualification(), // bootstrap sig(delta) for every report
+		focus.WithReplicates(49),
+		focus.WithSeed(42),
+		focus.WithAlert(func(r focus.MonitorReport) {
 			fmt.Printf("  >>> ALERT day %d: deviation %.4f crossed the threshold\n",
 				r.Epoch, r.Deviation)
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := mon.IngestEpoch(int64(day), batch.Tuples)
+		rep, err := mon.IngestEpoch(int64(day), batch)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -44,7 +44,10 @@ func main() {
 	}
 
 	const minSupport = 0.02
-	m1, err := focus.MineLits(week1, minSupport)
+	// The lits-model class instance carries the mining threshold; every
+	// pipeline below runs through it.
+	lits := focus.Lits(minSupport)
+	m1, err := lits.Induce(week1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,14 +60,14 @@ func main() {
 		{"week 2 (same process)", week2},
 		{"week 3 (changed process)", week3},
 	} {
-		m, err := focus.MineLits(wk.data, minSupport)
+		m, err := lits.Induce(wk.data, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// The deviation extends both models to their greatest common
 		// refinement and sums the per-itemset support differences
 		// (Definition 3.6 with f_a and g_sum).
-		dev, err := focus.LitsDeviation(m1, m, week1, wk.data, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+		dev, err := focus.Deviation(lits, m1, m, week1, wk.data, focus.AbsoluteDiff, focus.Sum)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,8 +77,8 @@ func main() {
 
 		// Is the deviation larger than same-process noise? Bootstrap the
 		// null distribution (Section 3.4).
-		q, err := focus.QualifyLits(week1, wk.data, minSupport, focus.AbsoluteDiff, focus.Sum,
-			focus.QualifyOptions{Replicates: 29, Seed: 42})
+		q, err := focus.Qualify(lits, week1, wk.data, focus.AbsoluteDiff, focus.Sum,
+			focus.WithReplicates(29), focus.WithSeed(42))
 		if err != nil {
 			log.Fatal(err)
 		}

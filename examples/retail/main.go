@@ -109,8 +109,8 @@ func main() {
 
 		// Focussed deviation: how much do the stores differ within this
 		// department overall?
-		dev, err := focus.LitsDeviation(l1, l2, store1, store2, focus.AbsoluteDiff, focus.Sum,
-			focus.LitsOptions{Focus: within})
+		dev, err := focus.Deviation(focus.Lits(minSupport), l1, l2, store1, store2,
+			focus.AbsoluteDiff, focus.Sum, focus.WithFocusItemsets(within))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -48,7 +48,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			sd, err := focus.LitsDeviation(m, ms, d, sample, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+			sd, err := focus.Deviation(focus.Lits(minSupport), m, ms, d, sample, focus.AbsoluteDiff, focus.Sum)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -14,20 +14,54 @@
 // with f a difference function (AbsoluteDiff = f_a, ScaledDiff = f_s) and g
 // an aggregate (Sum, Max).
 //
-// Three model classes are provided, mirroring the paper:
+// # Model classes
 //
-//   - lits-models: frequent itemsets mined by Apriori (MineLits,
-//     LitsDeviation, LitsUpperBound);
-//   - dt-models: decision-tree partitions built by a CART-style grower
-//     (BuildDTModel, DTDeviation);
-//   - cluster-models: grid-based cluster regions (BuildClusterModel,
-//     ClusterDeviation).
+// The paper's central claim is that FOCUS is one framework which concrete
+// model classes merely instantiate. The API mirrors that: the generic
+// ModelClass interface captures what an instantiation must provide — induce
+// a model from a dataset, extend two models to their GCR and measure the
+// refined regions (parallel, shardable), and seal batches into mergeable
+// count summaries for streaming — and every pipeline is written once
+// against it:
 //
-// Deviations can be focussed on a region (DTOptions.Focus, LitsOptions.Focus),
-// decomposed and ranked with the structural operators (StructuralUnion,
-// Rank, Top, ...), and qualified for statistical significance by
-// bootstrapping (QualifyLits, QualifyDT). The misclassification error and
-// the chi-squared goodness-of-fit statistic arise as special cases
+//   - Deviation(mc, m1, m2, d1, d2, f, g, opts...) — delta(f,g) between two
+//     datasets through their models (Definition 3.6);
+//   - Qualify(mc, d1, d2, f, g, opts...) — the deviation with its bootstrap
+//     significance (Section 3.4);
+//   - RankRegions(mc, m1, m2, d1, d2, f, opts...) — the GCR regions ordered
+//     by their single-region deviation (Section 5);
+//   - NewMonitor(mc, ref, opts...) — the monitoring regime of Section 5.2
+//     run continuously over a stream of batches.
+//
+// Four instantiations ship with the package, mirroring the paper:
+//
+//   - Lits(minSupport): frequent-itemset models mined by Apriori
+//     (Section 2.2);
+//   - DT(cfg): decision-tree partitions built by a CART-style grower, GCR
+//     by overlay (Section 2.1);
+//   - PinnedDT(tree): the Section 5.2 monitoring instantiation — the
+//     structural component is fixed to a pinned tree's leaf-by-class cells;
+//   - Cluster(grid, minDensity): grid-based cluster regions (Section 2.4).
+//
+// A new model class (histograms, quantile sketches, ...) plugs into every
+// pipeline — including the incremental monitor — by implementing ModelClass
+// alone. Pipelines are tuned through one functional-options vocabulary
+// (WithParallelism, WithFocus, WithThreshold, WithWindow, ...) replacing
+// the per-class options structs of earlier versions.
+//
+// The per-class entry points (LitsDeviation, DTDeviation,
+// ClusterDeviation(With), QualifyLits, QualifyDT, NewLitsMonitor,
+// NewDTMonitor, NewClusterMonitor) remain as deprecated thin wrappers over
+// the unified pipeline and produce bit-identical results; see the README's
+// migration table.
+//
+// # Everything else
+//
+// Deviations can be decomposed and ranked with the structural operators
+// (StructuralUnion, Rank, Top, ...); the model-only upper bound delta*
+// (LitsUpperBound, UpperBoundMatrix, Embed) compares dataset collections
+// without scans; the misclassification error and the chi-squared
+// goodness-of-fit statistic arise as special cases
 // (MisclassificationViaFOCUS, ChiSquared, ChiSquaredBootstrapTest).
 //
 // Synthetic data generators matching the paper's workloads live in
@@ -40,15 +74,13 @@
 // counting, GCR region measurement, rank-operator counting) shard their
 // input across a worker pool and merge per-shard integer counts in
 // deterministic shard order, so parallel results are bit-identical to the
-// serial path. The Parallelism field on LitsOptions, DTOptions,
-// ClusterOptions and QualifyOptions selects the worker count: 0 means the
+// serial path. WithParallelism selects the worker count: 0 means the
 // process default (GOMAXPROCS, overridable via SetParallelism or the CLIs'
 // -parallelism flag), 1 forces the exact serial path, n >= 2 uses n
 // workers.
 //
-// The monitoring regime runs continuously through the streaming monitors
-// (NewLitsMonitor, NewDTMonitor, NewClusterMonitor): batches enter a
-// sliding or tumbling window whose model is maintained incrementally from
+// The monitoring regime runs continuously through NewMonitor: batches enter
+// a sliding or tumbling window whose model is maintained incrementally from
 // mergeable per-batch count summaries, and every window advance emits the
 // deviation against a pinned reference (or the previous window) —
 // bit-identical to rebuilding the window's model from scratch — with
@@ -123,12 +155,26 @@ type (
 // FullRegion returns the box covering the whole attribute space of s.
 func FullRegion(s *Schema) *Box { return region.Full(s) }
 
+// FromTuples wraps tuples into a Dataset on s (sharing the slice) — the
+// batch shape the unified monitor ingests.
+func FromTuples(s *Schema, tuples []Tuple) *Dataset { return dataset.FromTuples(s, tuples) }
+
+// FromTransactions wraps transactions into a TxnDataset over a universe of
+// numItems items (sharing the slice) — the batch shape the unified monitor
+// ingests.
+func FromTransactions(numItems int, txns []Transaction) *TxnDataset {
+	return &txn.Dataset{NumItems: numItems, Txns: txns}
+}
+
 // Models.
 type (
 	// LitsModel is a frequent-itemset model (Section 2.2).
 	LitsModel = core.LitsModel
 	// DTModel is a decision-tree model (Section 2.1).
 	DTModel = core.DTModel
+	// DTMeasures is the model induced by the PinnedDT class: a dataset's
+	// measures over a pinned tree's leaf-by-class cells (Section 5.2).
+	DTMeasures = core.DTMeasures
 	// ClusterModel is a cluster model (Section 2.4).
 	ClusterModel = core.ClusterModel
 	// Tree is the underlying decision-tree classifier.
@@ -137,16 +183,136 @@ type (
 	TreeConfig = dtree.Config
 	// Grid discretizes numeric attributes for cluster-models.
 	Grid = cluster.Grid
-
-	// LitsOptions tunes lits-model deviations (focussing, parallelism).
-	LitsOptions = core.LitsOptions
-	// DTOptions tunes dt-model deviations (focussing, parallelism).
-	DTOptions = core.DTOptions
-	// ClusterOptions tunes cluster-model deviations (parallelism).
-	ClusterOptions = core.ClusterOptions
 	// GCRRegion is one region of a dt-model GCR overlay.
 	GCRRegion = core.GCRRegion
 )
+
+// The generic ModelClass abstraction: one interface per instantiation, one
+// pipeline for every class.
+type (
+	// ModelClass is the contract an instantiation of the framework
+	// satisfies over datasets of type D and models of type M: induce a
+	// model, measure the GCR of two models against two datasets, and seal
+	// batches into mergeable summaries for streaming. Implement it to plug
+	// a new model class into Deviation, Qualify, RankRegions and
+	// NewMonitor.
+	ModelClass[D, M any] = core.ModelClass[D, M]
+	// ModelWindow is the streaming half of a ModelClass: an incrementally
+	// maintained aggregate of sealed batch summaries.
+	ModelWindow[D, M any] = core.Window[D, M]
+	// MeasuredRegion is one GCR region's absolute measures in the two
+	// datasets.
+	MeasuredRegion = core.MeasuredRegion
+	// Config is the unified options struct assembled by the With*
+	// functional options.
+	Config = core.Config
+	// Option mutates a Config.
+	Option = core.Option
+	// RankedGCRRegion is one row of RankRegions.
+	RankedGCRRegion = core.RankedGCRRegion
+)
+
+// Lits returns the lits-model class: frequent itemsets mined by Apriori at
+// the given minimum support (Section 2.2).
+func Lits(minSupport float64) ModelClass[*TxnDataset, *LitsModel] { return core.Lits(minSupport) }
+
+// DT returns the dt-model class: decision trees grown with cfg, compared
+// over the overlay of their leaf partitions (Section 2.1, Definition 4.2).
+func DT(cfg TreeConfig) ModelClass[*Dataset, *DTModel] { return core.DT(cfg) }
+
+// PinnedDT returns the Section 5.2 monitoring instantiation: every model's
+// structural component is the pinned tree's leaf-by-class cells, so the old
+// model's structure is imposed on new data. It is the class the dt monitor
+// streams through.
+func PinnedDT(tree *Tree) ModelClass[*Dataset, *DTMeasures] { return core.PinnedDT(tree) }
+
+// Cluster returns the cluster-model class: grid-based cluster regions over
+// g at the given density threshold (Section 2.4).
+func Cluster(g *Grid, minDensity float64) ModelClass[*Dataset, *ClusterModel] {
+	return core.Cluster(g, minDensity)
+}
+
+// Functional options of the unified pipeline.
+
+// WithParallelism selects the worker count (0 = process default, 1 = the
+// exact serial path, n >= 2 = n workers); results are bit-identical for
+// every setting.
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithFocus restricts the deviation to a box region (Definition 5.2).
+// Honoured by classes with box regions (DT); ignored elsewhere.
+func WithFocus(b *Box) Option { return core.WithFocus(b) }
+
+// WithFocusItemsets keeps only the GCR itemsets for which keep returns true
+// (the Section 5 predicate operator in the lits domain).
+func WithFocusItemsets(keep func(Itemset) bool) Option { return core.WithFocusItemsets(keep) }
+
+// WithReplicates sets the bootstrap replicate count of Qualify.
+func WithReplicates(n int) Option { return core.WithReplicates(n) }
+
+// WithSeed makes the bootstrap deterministic.
+func WithSeed(s int64) Option { return core.WithSeed(s) }
+
+// WithExtension declares that d2 extends d1 (the Section 7 monitoring
+// null); requires |D2| >= |D1|.
+func WithExtension() Option { return core.WithExtension() }
+
+// WithWindow sets the count-based window size of a monitor (sliding by
+// default).
+func WithWindow(batches int) Option { return core.WithWindow(batches) }
+
+// WithTumbling makes the monitor window tumble instead of slide.
+func WithTumbling() Option { return core.WithTumbling() }
+
+// WithEpochWindow selects epoch-based window expiry: the window keeps the
+// batches whose epoch lies in (current-w, current].
+func WithEpochWindow(w int64) Option { return core.WithEpochWindow(w) }
+
+// WithPreviousWindow compares monitor windows against the previous window
+// instead of the pinned reference.
+func WithPreviousWindow() Option { return core.WithPreviousWindow() }
+
+// WithFunctions sets a monitor's difference and aggregate functions
+// (default AbsoluteDiff, Sum).
+func WithFunctions(f DiffFunc, g AggFunc) Option { return core.WithFunctions(f, g) }
+
+// WithThreshold marks monitor reports at or above t as alerts.
+func WithThreshold(t float64) Option { return core.WithThreshold(t) }
+
+// WithAlert installs a monitor's synchronous alert callback.
+func WithAlert(fn func(MonitorReport)) Option { return core.WithAlert(fn) }
+
+// WithQualification bootstraps the significance of every monitor emission.
+func WithQualification() Option { return core.WithQualification() }
+
+// WithConfig replaces the whole configuration at once.
+func WithConfig(c Config) Option { return core.WithConfig(c) }
+
+// The unified pipelines.
+
+// Deviation computes delta(f,g) between d1 and d2 through two models of one
+// class (Definition 3.6): both models are extended to their GCR, every
+// refined region is measured against both datasets (one parallel scan per
+// dataset), and the per-region differences are aggregated.
+func Deviation[D, M any](mc ModelClass[D, M], m1, m2 M, d1, d2 D, f DiffFunc, g AggFunc, opts ...Option) (float64, error) {
+	return core.Deviation(mc, m1, m2, d1, d2, f, g, opts...)
+}
+
+// Qualify computes the deviation between d1 and d2 through freshly induced
+// models of the class and its bootstrap significance (Section 3.4). It is
+// the one qualification pipeline for every model class — including
+// cluster-models, which the deprecated per-class API could not qualify.
+func Qualify[D, M any](mc ModelClass[D, M], d1, d2 D, f DiffFunc, g AggFunc, opts ...Option) (Qualification, error) {
+	return core.Qualify(mc, d1, d2, f, g, opts...)
+}
+
+// RankRegions orders the GCR regions of two models by decreasing
+// single-region deviation between d1 and d2 (the Section 5 rank operator
+// generalized to every model class). Ties preserve the class's GCR region
+// order.
+func RankRegions[D, M any](mc ModelClass[D, M], m1, m2 M, d1, d2 D, f DiffFunc, opts ...Option) ([]RankedGCRRegion, error) {
+	return core.RankRegions(mc, m1, m2, d1, d2, f, opts...)
+}
 
 // MineLits induces the lits-model of d at the given minimum support.
 func MineLits(d *TxnDataset, minSupport float64) (*LitsModel, error) {
@@ -176,8 +342,31 @@ func BuildClusterModel(d *Dataset, g *Grid, minDensity float64) (*ClusterModel, 
 	return core.BuildClusterModel(d, g, minDensity)
 }
 
+// Deprecated per-class options structs, kept for the compatibility
+// wrappers.
+type (
+	// LitsOptions tunes lits-model deviations.
+	//
+	// Deprecated: use the unified options (WithFocusItemsets,
+	// WithParallelism) with Deviation.
+	LitsOptions = core.LitsOptions
+	// DTOptions tunes dt-model deviations.
+	//
+	// Deprecated: use the unified options (WithFocus, WithParallelism)
+	// with Deviation.
+	DTOptions = core.DTOptions
+	// ClusterOptions tunes cluster-model deviations.
+	//
+	// Deprecated: use the unified options (WithParallelism) with
+	// Deviation.
+	ClusterOptions = core.ClusterOptions
+)
+
 // LitsDeviation computes delta(f,g) between d1 and d2 through their
 // lits-models (Definition 3.6).
+//
+// Deprecated: use Deviation with Lits(minSupport); results are
+// bit-identical.
 func LitsDeviation(m1, m2 *LitsModel, d1, d2 *TxnDataset, f DiffFunc, g AggFunc, opts LitsOptions) (float64, error) {
 	return core.LitsDeviation(m1, m2, d1, d2, f, g, opts)
 }
@@ -190,6 +379,8 @@ func LitsUpperBound(m1, m2 *LitsModel, g AggFunc) float64 {
 
 // DTDeviation computes delta(f,g) between d1 and d2 through their dt-models
 // over the GCR overlay (Definition 3.6, Section 4.2).
+//
+// Deprecated: use Deviation with DT(cfg); results are bit-identical.
 func DTDeviation(m1, m2 *DTModel, d1, d2 *Dataset, f DiffFunc, g AggFunc, opts DTOptions) (float64, error) {
 	return core.DTDeviation(m1, m2, d1, d2, f, g, opts)
 }
@@ -201,11 +392,17 @@ func DTGCRRegions(m1, m2 *DTModel) ([]GCRRegion, error) {
 
 // ClusterDeviation computes delta(f,g) between d1 and d2 through their
 // cluster-models over one grid.
+//
+// Deprecated: ClusterDeviation is an alias of ClusterDeviationWith with
+// zero options; use Deviation with Cluster(grid, minDensity).
 func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *Dataset, f DiffFunc, g AggFunc) (float64, error) {
 	return core.ClusterDeviation(m1, m2, d1, d2, f, g)
 }
 
 // ClusterDeviationWith is ClusterDeviation with options (parallelism).
+//
+// Deprecated: use Deviation with Cluster(grid, minDensity); results are
+// bit-identical.
 func ClusterDeviationWith(m1, m2 *ClusterModel, d1, d2 *Dataset, f DiffFunc, g AggFunc, opts ClusterOptions) (float64, error) {
 	return core.ClusterDeviationWith(m1, m2, d1, d2, f, g, opts)
 }
@@ -215,6 +412,9 @@ type (
 	// Qualification reports a deviation with its bootstrap significance.
 	Qualification = core.Qualification
 	// QualifyOptions tunes the bootstrap.
+	//
+	// Deprecated: use the unified options (WithReplicates, WithSeed,
+	// WithExtension, WithParallelism) with Qualify.
 	QualifyOptions = core.QualifyOptions
 	// ChiSquaredTestResult reports the bootstrap goodness-of-fit test.
 	ChiSquaredTestResult = core.ChiSquaredTestResult
@@ -222,12 +422,16 @@ type (
 
 // QualifyLits computes the lits deviation between d1 and d2 and its
 // bootstrap significance (Section 3.4).
+//
+// Deprecated: use Qualify with Lits(minSupport); results are bit-identical.
 func QualifyLits(d1, d2 *TxnDataset, minSupport float64, f DiffFunc, g AggFunc, opts QualifyOptions) (Qualification, error) {
 	return core.QualifyLits(d1, d2, minSupport, f, g, opts)
 }
 
 // QualifyDT computes the dt deviation between d1 and d2 and its bootstrap
 // significance (Section 3.4).
+//
+// Deprecated: use Qualify with DT(cfg); results are bit-identical.
 func QualifyDT(d1, d2 *Dataset, cfg TreeConfig, f DiffFunc, g AggFunc, opts QualifyOptions) (Qualification, error) {
 	return core.QualifyDT(d1, d2, cfg, f, g, opts)
 }
@@ -293,34 +497,53 @@ func TopItemsets(ranked []RankedItemset, n int) []RankedItemset {
 // Streaming monitors (the monitoring regime of Section 5.2 run
 // continuously over a stream of batches).
 type (
-	// Monitor is an incremental windowed deviation monitor over batches
-	// of B (transactions for lits-models, tuples for dt- and
-	// cluster-models). Batches enter a sliding or tumbling window whose
-	// model is maintained incrementally from mergeable per-batch
-	// summaries — window advance subtracts the expired batch and adds the
-	// new one instead of rescanning — and every advance emits the
-	// deviation of the window against a pinned reference model (or the
-	// previous window), bit-identical to rebuilding the window's model
-	// from scratch.
-	Monitor[B any] = stream.Monitor[B]
+	// Monitor is an incremental windowed deviation monitor over batch
+	// datasets of D through models of M. Batches enter a sliding or
+	// tumbling window whose model is maintained incrementally from
+	// mergeable per-batch summaries — window advance subtracts the expired
+	// batch and adds the new one instead of rescanning — and every advance
+	// emits the deviation of the window against a pinned reference model
+	// (or the previous window), bit-identical to rebuilding the window's
+	// model from scratch.
+	Monitor[D, M any] = stream.Monitor[D, M]
 	// MonitorOptions configures a Monitor (window policy, f/g, threshold
-	// alerts, bootstrap qualification, parallelism).
+	// alerts, bootstrap qualification, parallelism). It is the same type
+	// as Config; prefer assembling it with the With* options.
 	MonitorOptions = stream.Options
 	// MonitorReport is one emission of a Monitor.
 	MonitorReport = stream.Report
 	// LitsMonitor monitors transaction batches through lits-models.
+	//
+	// Deprecated: use NewMonitor with Lits(minSupport).
 	LitsMonitor = stream.LitsMonitor
 	// DTMonitor monitors tuple batches through the cells of a pinned
 	// decision tree (Section 5.2).
+	//
+	// Deprecated: use NewMonitor with PinnedDT(tree).
 	DTMonitor = stream.DTMonitor
 	// ClusterMonitor monitors tuple batches through grid-based
 	// cluster-models.
+	//
+	// Deprecated: use NewMonitor with Cluster(grid, minDensity).
 	ClusterMonitor = stream.ClusterMonitor
 )
+
+// NewMonitor creates the unified incremental monitor for any model class:
+// every ingested batch dataset is sealed into a mergeable summary, the
+// window advances by subtract-expired/add-new, and each advance emits the
+// deviation of the window's model from the reference model induced over
+// ref. ref may be nil with WithPreviousWindow, in which case the first
+// complete window becomes the initial reference.
+func NewMonitor[D, M any](mc ModelClass[D, M], ref D, opts ...Option) (*Monitor[D, M], error) {
+	return stream.New(mc, ref, core.NewConfig(opts...))
+}
 
 // NewLitsMonitor creates a monitor that mines a lits-model at minSupport
 // over each window of transaction batches and emits its deviation from the
 // reference model mined over ref.
+//
+// Deprecated: use NewMonitor with Lits(minSupport); results are
+// bit-identical.
 func NewLitsMonitor(ref *TxnDataset, minSupport float64, opts MonitorOptions) (*LitsMonitor, error) {
 	return stream.NewLitsMonitor(ref, minSupport, opts)
 }
@@ -328,15 +551,20 @@ func NewLitsMonitor(ref *TxnDataset, minSupport float64, opts MonitorOptions) (*
 // NewDTMonitor creates a monitor that measures every window of tuple
 // batches over the pinned tree's leaf-by-class cells and emits its
 // deviation from the reference measures (ref may be nil with
-// MonitorOptions.PreviousWindow).
+// PreviousWindow).
+//
+// Deprecated: use NewMonitor with PinnedDT(tree); results are
+// bit-identical.
 func NewDTMonitor(tree *Tree, ref *Dataset, opts MonitorOptions) (*DTMonitor, error) {
 	return stream.NewDTMonitor(tree, ref, opts)
 }
 
 // NewClusterMonitor creates a monitor that re-induces a cluster-model over
 // g at minDensity from every window's aggregated cell counts and emits its
-// deviation from the reference model (ref may be nil with
-// MonitorOptions.PreviousWindow).
+// deviation from the reference model (ref may be nil with PreviousWindow).
+//
+// Deprecated: use NewMonitor with Cluster(g, minDensity); results are
+// bit-identical.
 func NewClusterMonitor(g *Grid, minDensity float64, ref *Dataset, opts MonitorOptions) (*ClusterMonitor, error) {
 	return stream.NewClusterMonitor(g, minDensity, ref, opts)
 }

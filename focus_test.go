@@ -312,15 +312,18 @@ func TestFacadeMonitorWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The class-specific monitor satisfies the generic facade alias.
-	var generic *focus.Monitor[focus.Tuple] = mon
+	// The class-specific monitor exposes the generic unified monitor.
+	var generic *focus.Monitor[*focus.Dataset, *focus.DTMeasures] = mon.Generic()
+	if generic == nil {
+		t.Fatal("deprecated monitor does not expose the generic monitor")
+	}
 	var last *focus.MonitorReport
 	for i, fn := range []classgen.Function{classgen.F1, classgen.F1, classgen.F3} {
 		batch, err := classgen.Generate(classgen.Config{NumTuples: 800, Function: fn, Seed: 71 + int64(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		last, err = generic.Ingest(batch.Tuples)
+		last, err = mon.Ingest(batch.Tuples)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"focus/internal/apriori"
+	"focus/internal/txn"
+)
+
+// litsClass is the lits-model instantiation of ModelClass (Section 2.2):
+// regions are frequent itemsets, the GCR is the itemset-set union, and the
+// mergeable streaming summary is the per-batch itemset support count.
+type litsClass struct {
+	minSupport float64
+}
+
+// Lits returns the lits-model class instance mining frequent itemsets at
+// the given minimum support.
+func Lits(minSupport float64) ModelClass[*txn.Dataset, *LitsModel] {
+	return litsClass{minSupport: minSupport}
+}
+
+func (litsClass) Name() string { return "lits" }
+
+func (litsClass) Len(d *txn.Dataset) int { return d.Len() }
+
+func (litsClass) Concat(d1, d2 *txn.Dataset) (*txn.Dataset, error) { return d1.Concat(d2) }
+
+func (litsClass) Resample(d *txn.Dataset, n int, rng *rand.Rand) *txn.Dataset {
+	return d.Resample(n, rng)
+}
+
+func (c litsClass) Induce(d *txn.Dataset, parallelism int) (*LitsModel, error) {
+	return MineLitsP(d, c.minSupport, parallelism)
+}
+
+func (litsClass) MeasureGCR(m1, m2 *LitsModel, d1, d2 *txn.Dataset, cfg *Config) ([]MeasuredRegion, error) {
+	if d1.NumItems != d2.NumItems {
+		return nil, fmt.Errorf("core: datasets have different item universes (%d vs %d)", d1.NumItems, d2.NumItems)
+	}
+	gcr := GCRItemsets(m1, m2)
+	if cfg.FocusItemsets != nil {
+		kept := gcr[:0]
+		for _, s := range gcr {
+			if cfg.FocusItemsets(s) {
+				kept = append(kept, s)
+			}
+		}
+		gcr = kept
+	}
+	c1 := apriori.CountItemsetsP(d1, gcr, cfg.Parallelism)
+	c2 := apriori.CountItemsetsP(d2, gcr, cfg.Parallelism)
+	regions := make([]MeasuredRegion, len(gcr))
+	for i := range gcr {
+		regions[i] = MeasuredRegion{Alpha1: float64(c1[i]), Alpha2: float64(c2[i])}
+	}
+	return regions, nil
+}
+
+func (c litsClass) NewWindow(parallelism int) (Window[*txn.Dataset, *LitsModel], error) {
+	return &litsWindow{
+		minSupport:  c.minSupport,
+		parallelism: parallelism,
+		intern:      newInternTable(),
+	}, nil
+}
+
+func (litsClass) MeasureGCRWindows(m1, m2 *LitsModel, w1, w2 Window[*txn.Dataset, *LitsModel]) ([]MeasuredRegion, error) {
+	lw1, ok1 := w1.(*litsWindow)
+	lw2, ok2 := w2.(*litsWindow)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("core: lits MeasureGCRWindows over foreign windows %T/%T", w1, w2)
+	}
+	if lw1.numItems != lw2.numItems {
+		return nil, fmt.Errorf("core: datasets have different item universes (%d vs %d)", lw1.numItems, lw2.numItems)
+	}
+	gcr := GCRItemsets(m1, m2)
+	c1 := lw1.Count(gcr)
+	c2 := lw2.Count(gcr)
+	regions := make([]MeasuredRegion, len(gcr))
+	for i := range gcr {
+		regions[i] = MeasuredRegion{Alpha1: float64(c1[i]), Alpha2: float64(c2[i])}
+	}
+	return regions, nil
+}
+
+// internTable assigns dense ids to itemsets, shared by every window of one
+// monitor (live, snapshots, pinned reference). Interning pays one string
+// lookup per itemset per Count call; the per-batch caches are then flat
+// slices indexed by id, so serving a cached count costs a slice read, not
+// a map access per (itemset, batch) pair. The table grows with the
+// distinct candidate itemsets ever counted — bounded in practice by the
+// stable candidate population of the stream.
+type internTable struct {
+	ids map[string]int
+}
+
+func newInternTable() *internTable { return &internTable{ids: make(map[string]int)} }
+
+func (t *internTable) idsOf(sets []apriori.Itemset) []int {
+	out := make([]int, len(sets))
+	for i, s := range sets {
+		k := s.Key()
+		id, ok := t.ids[k]
+		if !ok {
+			id = len(t.ids)
+			t.ids[k] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// litsBatch is the sealed summary of one batch of transactions: the raw
+// transactions (retained so itemsets first seen in later windows can still
+// be counted), the mergeable pass-1 item-count vector, and a cache of
+// absolute support counts per interned itemset already counted in this
+// batch (-1 = not yet counted). The cache is what makes window advance
+// incremental — a stable candidate set never rescans a retained batch.
+type litsBatch struct {
+	data   *txn.Dataset
+	items  []int
+	counts []int // by interned id; -1 marks uncounted
+}
+
+// grow extends the cache to cover ids below n, marking new slots uncounted.
+func (b *litsBatch) grow(n int) {
+	if len(b.counts) >= n {
+		return
+	}
+	grown := make([]int, n)
+	copy(grown, b.counts)
+	for i := len(b.counts); i < n; i++ {
+		grown[i] = -1
+	}
+	b.counts = grown
+}
+
+// litsWindow is a set of batches exposed to Apriori as a count source:
+// pass-1 item counts are maintained incrementally (add on ingest, subtract
+// on expiry), candidate counts are per-batch sums served from the caches,
+// scanning a batch only for itemsets it has not counted before. Counts are
+// integers, so the sums — and everything induced from them — are identical
+// to a full rescan of the window. The item universe is fixed by the first
+// batch added anywhere in the window's clone family.
+type litsWindow struct {
+	minSupport  float64
+	numItems    int
+	parallelism int
+	intern      *internTable
+	batchList   []*litsBatch
+	items       []int
+	n           int
+}
+
+func (w *litsWindow) Add(d *txn.Dataset, parallelism int) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("core: invalid batch: %w", err)
+	}
+	if len(w.items) == 0 && len(w.batchList) == 0 {
+		w.numItems = d.NumItems
+		w.items = make([]int, d.NumItems)
+	} else if d.NumItems != w.numItems {
+		return fmt.Errorf("core: batch universe %d != window universe %d", d.NumItems, w.numItems)
+	}
+	b := &litsBatch{data: d, items: apriori.ItemCountsP(d, parallelism)}
+	w.batchList = append(w.batchList, b)
+	for i, v := range b.items {
+		w.items[i] += v
+	}
+	w.n += d.Len()
+	return nil
+}
+
+func (w *litsWindow) RemoveFront() {
+	b := w.batchList[0]
+	w.batchList[0] = nil
+	w.batchList = w.batchList[1:]
+	for i, v := range b.items {
+		w.items[i] -= v
+	}
+	w.n -= b.data.Len()
+}
+
+func (w *litsWindow) Batches() int { return len(w.batchList) }
+
+func (w *litsWindow) N() int { return w.n }
+
+// Data assembles the window's raw transactions into one dataset (sharing
+// transaction storage), for bootstrap qualification.
+func (w *litsWindow) Data() *txn.Dataset {
+	out := &txn.Dataset{NumItems: w.numItems}
+	for _, b := range w.batchList {
+		out.Txns = append(out.Txns, b.data.Txns...)
+	}
+	return out
+}
+
+// Clone returns a snapshot sharing the (immutable) batch summaries and the
+// intern table, so counts cached through either window stay valid for
+// both.
+func (w *litsWindow) Clone() Window[*txn.Dataset, *LitsModel] {
+	return &litsWindow{
+		minSupport:  w.minSupport,
+		numItems:    w.numItems,
+		parallelism: w.parallelism,
+		intern:      w.intern,
+		batchList:   append([]*litsBatch(nil), w.batchList...),
+		items:       append([]int(nil), w.items...),
+		n:           w.n,
+	}
+}
+
+func (w *litsWindow) Induce() (*LitsModel, error) {
+	fs, err := apriori.MineFrom(w, w.minSupport)
+	if err != nil {
+		return nil, err
+	}
+	return &LitsModel{FS: fs}, nil
+}
+
+// litsWindow implements apriori.Source.
+
+func (w *litsWindow) NumTxns() int      { return w.n }
+func (w *litsWindow) NumItems() int     { return w.numItems }
+func (w *litsWindow) ItemCounts() []int { return w.items }
+
+func (w *litsWindow) Count(sets []apriori.Itemset) []int {
+	total := make([]int, len(sets))
+	if len(sets) == 0 {
+		return total
+	}
+	ids := w.intern.idsOf(sets)
+	for _, b := range w.batchList {
+		b.grow(len(w.intern.ids))
+		var missing []apriori.Itemset
+		var missingIdx []int
+		for i, id := range ids {
+			if c := b.counts[id]; c >= 0 {
+				total[i] += c
+			} else {
+				if missing == nil {
+					missing = make([]apriori.Itemset, 0, len(sets)-i)
+					missingIdx = make([]int, 0, len(sets)-i)
+				}
+				missing = append(missing, sets[i])
+				missingIdx = append(missingIdx, i)
+			}
+		}
+		if len(missing) > 0 {
+			counts := apriori.CountItemsetsP(b.data, missing, w.parallelism)
+			for j, c := range counts {
+				i := missingIdx[j]
+				b.counts[ids[i]] = c
+				total[i] += c
+			}
+		}
+	}
+	return total
+}

@@ -17,6 +17,25 @@ import (
 // the overlay of their cluster labelings.
 type ClusterModel struct {
 	M *cluster.Model
+
+	// cells caches the per-grid-cell counts of the inducing dataset and
+	// inducedFrom identifies it, so MeasureGCR can skip re-counting when
+	// measuring a model against its own inducing data (the Qualify
+	// bootstrap's hot path). The cache is keyed by dataset identity and
+	// size — appending to the dataset changes Len and misses — so the
+	// inducing dataset must not be mutated in place between Induce and
+	// measuring.
+	cells       []int
+	inducedFrom *dataset.Dataset
+}
+
+// cachedCells returns the inducing cell counts when d is the dataset this
+// model was induced from, or nil to request a fresh scan.
+func (m *ClusterModel) cachedCells(d *dataset.Dataset) []int {
+	if m.cells != nil && m.inducedFrom == d && d.Len() == m.M.N {
+		return m.cells
+	}
+	return nil
 }
 
 // BuildClusterModel induces a cluster-model from d over grid g with the
@@ -43,11 +62,18 @@ type ClusterOptions struct {
 	Parallelism int
 }
 
+// errGridMismatch is the shared grid-alignment error of every cluster GCR
+// path.
+var errGridMismatch = errors.New("core: cluster-models over different grids have no cell-aligned GCR")
+
 // ClusterDeviation computes delta(f,g) between d1 and d2 through their
 // cluster-models m1 and m2, which must share one grid. The GCR regions are
 // the non-empty label pairs (c1, c2) of the overlay, excluding the pair
 // (Outside, Outside), which belongs to neither structural component —
 // cluster-model structural components are non-exhaustive (Section 2.4).
+//
+// Deprecated: ClusterDeviation is an alias of ClusterDeviationWith with
+// zero options; use Deviation with the Cluster model class.
 func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc) (float64, error) {
 	return ClusterDeviationWith(m1, m2, d1, d2, f, g, ClusterOptions{})
 }
@@ -56,14 +82,17 @@ func ClusterDeviation(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc,
 // scans reduce each dataset to per-cell counts (both models share the grid,
 // so a tuple's label pair is a function of its cell alone); the deviation is
 // then computed from the cell counts.
+//
+// Deprecated: use Deviation with the Cluster model class;
+// ClusterDeviationWith is a thin wrapper kept for compatibility and
+// produces bit-identical results.
 func ClusterDeviationWith(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc, opts ClusterOptions) (float64, error) {
-	if !m1.M.Grid.Equal(m2.M.Grid) {
-		return 0, errors.New("core: cluster-models over different grids have no cell-aligned GCR")
+	cfg := Config{Parallelism: opts.Parallelism}
+	regions, err := clusterClass{}.MeasureGCR(m1, m2, d1, d2, &cfg)
+	if err != nil {
+		return 0, err
 	}
-	cells1 := cluster.CellCounts(d1, m1.M.Grid, opts.Parallelism)
-	cells2 := cluster.CellCounts(d2, m1.M.Grid, opts.Parallelism)
-	dev, _, err := ClusterDeviationFromCells(m1, m2, cells1, cells2, d1.Len(), d2.Len(), f, g)
-	return dev, err
+	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
 }
 
 // ClusterDeviationFromCells computes the cluster-model deviation from
@@ -76,12 +105,25 @@ func ClusterDeviationWith(m1, m2 *ClusterModel, d1, d2 *dataset.Dataset, f DiffF
 // over the pairs in sorted (c1, c2) order — so any two ways of producing
 // equal cell counts yield bit-identical deviations.
 func ClusterDeviationFromCells(m1, m2 *ClusterModel, cells1, cells2 []int, n1, n2 int, f DiffFunc, g AggFunc) (float64, int, error) {
+	regions, err := clusterRegionsFromCells(m1, m2, cells1, cells2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return Deviation1(regions, float64(n1), float64(n2), f, g), len(regions), nil
+}
+
+// clusterRegionsFromCells assembles the measured GCR regions of two
+// cell-aligned cluster-models from per-cell counts: the non-empty label
+// pairs (c1, c2) of the overlay, excluding (Outside, Outside), in sorted
+// (c1, c2) order so the float64 reduction is independent of map iteration
+// and encounter order.
+func clusterRegionsFromCells(m1, m2 *ClusterModel, cells1, cells2 []int) ([]MeasuredRegion, error) {
 	if !m1.M.Grid.Equal(m2.M.Grid) {
-		return 0, 0, errors.New("core: cluster-models over different grids have no cell-aligned GCR")
+		return nil, errGridMismatch
 	}
 	nc := m1.M.Grid.NumCells()
 	if len(cells1) != nc || len(cells2) != nc {
-		return 0, 0, fmt.Errorf("core: cell counts of length %d/%d do not match the grid's %d cells", len(cells1), len(cells2), nc)
+		return nil, fmt.Errorf("core: cell counts of length %d/%d do not match the grid's %d cells", len(cells1), len(cells2), nc)
 	}
 	type key struct{ c1, c2 int }
 	counts := make(map[key]*MeasuredRegion)
@@ -102,8 +144,6 @@ func ClusterDeviationFromCells(m1, m2 *ClusterModel, cells1, cells2 []int, n1, n
 		r.Alpha1 += float64(v1)
 		r.Alpha2 += float64(v2)
 	}
-	// Aggregate over the label pairs in sorted order so the float64
-	// reduction is independent of map iteration and encounter order.
 	keys := make([]key, 0, len(counts))
 	for k := range counts {
 		keys = append(keys, k)
@@ -118,5 +158,5 @@ func ClusterDeviationFromCells(m1, m2 *ClusterModel, cells1, cells2 []int, n1, n
 	for i, k := range keys {
 		regions[i] = *counts[k]
 	}
-	return Deviation1(regions, float64(n1), float64(n2), f, g), len(regions), nil
+	return regions, nil
 }

@@ -87,20 +87,35 @@ type DTOptions struct {
 }
 
 // DTDeviation computes delta(f,g) between the datasets d1 and d2 through
-// their dt-models m1 and m2 (Definition 3.6). Both models are extended to
-// the GCR overlay; measures are obtained by routing every tuple of each
-// dataset down both trees simultaneously (a single scan per dataset,
-// Section 3.3.1), so a GCR region's counts are indexed by the leaf pair the
-// tuple reaches plus its class label.
+// their dt-models m1 and m2 (Definition 3.6).
+//
+// Deprecated: use Deviation with the DT model class; DTDeviation is a thin
+// wrapper kept for compatibility and produces bit-identical results.
 func DTDeviation(m1, m2 *DTModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc, opts DTOptions) (float64, error) {
-	gcr, err := DTGCRRegions(m1, m2)
+	cfg := Config{FocusRegion: opts.Focus, Parallelism: opts.Parallelism}
+	regions, err := dtMeasureGCR(m1, m2, d1, d2, &cfg)
 	if err != nil {
 		return 0, err
 	}
+	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+}
+
+// dtMeasureGCR extends two dt-models to their GCR overlay and measures
+// every refined region against d1 and d2: every tuple of each dataset is
+// routed down both trees simultaneously (a single scan per dataset,
+// Section 3.3.1), so a GCR region's counts are indexed by the leaf pair the
+// tuple reaches plus its class label. It is the dt MeasureGCR of the
+// ModelClass abstraction.
+func dtMeasureGCR(m1, m2 *DTModel, d1, d2 *dataset.Dataset, cfg *Config) ([]MeasuredRegion, error) {
+	gcr, err := DTGCRRegions(m1, m2)
+	if err != nil {
+		return nil, err
+	}
 	if !d1.Schema.Equal(m1.Tree.Schema) || !d2.Schema.Equal(m1.Tree.Schema) {
-		return 0, errors.New("core: datasets and models must share one schema")
+		return nil, errors.New("core: datasets and models must share one schema")
 	}
 	k := m1.Tree.NumClasses()
+	focus := cfg.FocusRegion
 
 	// Index the (geometrically non-empty) GCR regions by (leaf1, leaf2,
 	// class), applying the focussing intersection first.
@@ -108,12 +123,12 @@ func DTDeviation(m1, m2 *DTModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc
 	idx := make(map[key]int, len(gcr))
 	regions := make([]MeasuredRegion, 0, len(gcr))
 	for _, r := range gcr {
-		if opts.Focus != nil {
-			fb := r.Box.Intersect(opts.Focus)
+		if focus != nil {
+			fb := r.Box.Intersect(focus)
 			if fb == nil {
 				continue
 			}
-			if !classAllowed(opts.Focus, r.Class) {
+			if !classAllowed(focus, r.Class) {
 				continue
 			}
 		}
@@ -122,7 +137,7 @@ func DTDeviation(m1, m2 *DTModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc
 	}
 
 	inFocus := func(t dataset.Tuple) bool {
-		return opts.Focus == nil || opts.Focus.Contains(t)
+		return focus == nil || focus.Contains(t)
 	}
 	// Route each dataset down both trees with the tuples sharded across
 	// workers. Shards accumulate integer counts into private vectors that
@@ -134,7 +149,7 @@ func DTDeviation(m1, m2 *DTModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc
 	}
 	scan := func(d *dataset.Dataset, second bool) error {
 		var scanErr error
-		parallel.MapReduce(len(d.Tuples), opts.Parallelism,
+		parallel.MapReduce(len(d.Tuples), cfg.Parallelism,
 			func() *shardAcc { return &shardAcc{counts: make([]float64, len(regions))} },
 			func(acc *shardAcc, ch parallel.Chunk) {
 				for _, t := range d.Tuples[ch.Lo:ch.Hi] {
@@ -166,12 +181,12 @@ func DTDeviation(m1, m2 *DTModel, d1, d2 *dataset.Dataset, f DiffFunc, g AggFunc
 		return scanErr
 	}
 	if err := scan(d1, false); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := scan(d2, true); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
+	return regions, nil
 }
 
 // classAllowed reports whether the focus box admits the given class label.
@@ -216,13 +231,9 @@ func DTCellCounts(t *dtree.Tree, d *dataset.Dataset, parallelism int) ([]int, er
 // leaf-by-class regions are included, so difference functions that are
 // non-zero on empty regions (the chi-squared f) see every cell.
 func DTDeviationFromCells(t *dtree.Tree, cells1, cells2 []int, n1, n2 int, f DiffFunc, g AggFunc) (float64, error) {
-	want := t.NumLeaves() * t.NumClasses()
-	if len(cells1) != want || len(cells2) != want {
-		return 0, fmt.Errorf("core: cell counts of length %d/%d do not match the tree's %d cells", len(cells1), len(cells2), want)
-	}
-	regions := make([]MeasuredRegion, want)
-	for i := range regions {
-		regions[i] = MeasuredRegion{Alpha1: float64(cells1[i]), Alpha2: float64(cells2[i])}
+	regions, err := dtCellRegions(t, cells1, cells2)
+	if err != nil {
+		return 0, err
 	}
 	return Deviation1(regions, float64(n1), float64(n2), f, g), nil
 }

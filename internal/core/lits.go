@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"focus/internal/apriori"
@@ -86,23 +85,16 @@ type LitsOptions struct {
 // their lits-models m1 and m2 (Definition 3.6): both models are extended to
 // their GCR by counting every GCR itemset's support in each dataset (one
 // scan per dataset), and the per-region differences are aggregated.
+//
+// Deprecated: use Deviation with the Lits model class; LitsDeviation is a
+// thin wrapper kept for compatibility and produces bit-identical results.
 func LitsDeviation(m1, m2 *LitsModel, d1, d2 *txn.Dataset, f DiffFunc, g AggFunc, opts LitsOptions) (float64, error) {
-	if d1.NumItems != d2.NumItems {
-		return 0, fmt.Errorf("core: datasets have different item universes (%d vs %d)", d1.NumItems, d2.NumItems)
+	cfg := Config{FocusItemsets: opts.Focus, Parallelism: opts.Parallelism}
+	regions, err := litsClass{}.MeasureGCR(m1, m2, d1, d2, &cfg)
+	if err != nil {
+		return 0, err
 	}
-	gcr := GCRItemsets(m1, m2)
-	if opts.Focus != nil {
-		kept := gcr[:0]
-		for _, s := range gcr {
-			if opts.Focus(s) {
-				kept = append(kept, s)
-			}
-		}
-		gcr = kept
-	}
-	c1 := apriori.CountItemsetsP(d1, gcr, opts.Parallelism)
-	c2 := apriori.CountItemsetsP(d2, gcr, opts.Parallelism)
-	return LitsDeviationFromCounts(c1, c2, d1.Len(), d2.Len(), f, g), nil
+	return Deviation1(regions, float64(d1.Len()), float64(d2.Len()), f, g), nil
 }
 
 // LitsDeviationFromCounts computes delta_1(f,g) from the absolute support

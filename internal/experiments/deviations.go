@@ -121,18 +121,19 @@ func Fig13(sc Scale, seed int64) (Fig13Result, error) {
 	if err != nil {
 		return Fig13Result{}, err
 	}
-	baseModel, err := core.MineLits(base, sc.LitsMinSup)
+	mc := core.Lits(sc.LitsMinSup)
+	baseModel, err := mc.Induce(base, 1)
 	if err != nil {
 		return Fig13Result{}, err
 	}
 	result := Fig13Result{Dataset: sc.litsConfig(sc.LitsSizes[0], seed).Name()}
 	for i, d := range variants {
-		m, err := core.MineLits(d, sc.LitsMinSup)
+		m, err := mc.Induce(d, 1)
 		if err != nil {
 			return Fig13Result{}, err
 		}
 		t0 := time.Now()
-		dev, err := core.LitsDeviation(baseModel, m, base, d, core.AbsoluteDiff, core.Sum, core.LitsOptions{})
+		dev, err := core.Deviation(mc, baseModel, m, base, d, core.AbsoluteDiff, core.Sum)
 		if err != nil {
 			return Fig13Result{}, err
 		}
@@ -144,8 +145,11 @@ func Fig13(sc Scale, seed int64) (Fig13Result, error) {
 
 		// Rows 5-7 are the monitoring setting (D+Δ extends D), so their
 		// null must preserve the shared-prefix dependence.
-		q, err := core.QualifyLits(base, d, sc.LitsMinSup, core.AbsoluteDiff, core.Sum,
-			core.QualifyOptions{Replicates: sc.Replicates, Seed: seed + int64(100+i), Extension: i >= 4})
+		qopts := []core.Option{core.WithReplicates(sc.Replicates), core.WithSeed(seed + int64(100+i))}
+		if i >= 4 {
+			qopts = append(qopts, core.WithExtension())
+		}
+		q, err := core.Qualify(mc, base, d, core.AbsoluteDiff, core.Sum, qopts...)
 		if err != nil {
 			return Fig13Result{}, err
 		}
@@ -232,13 +236,16 @@ func Fig14(sc Scale, seed int64) (Fig14Result, error) {
 	if err != nil {
 		return Fig14Result{}, err
 	}
-	tcfg := dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf}
+	mc := core.DT(dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf})
 	result := Fig14Result{Dataset: classgen.Config{NumTuples: sc.DTSizes[0], Function: classgen.F1}.Name()}
 	for i, d := range variants {
 		// Rows 5-7 are the monitoring setting (D+Δ extends D), so their
 		// null must preserve the shared-prefix dependence.
-		q, err := core.QualifyDT(base, d, tcfg, core.AbsoluteDiff, core.Sum,
-			core.QualifyOptions{Replicates: sc.Replicates, Seed: seed + int64(200+i), Extension: i >= 4})
+		qopts := []core.Option{core.WithReplicates(sc.Replicates), core.WithSeed(seed + int64(200+i))}
+		if i >= 4 {
+			qopts = append(qopts, core.WithExtension())
+		}
+		q, err := core.Qualify(mc, base, d, core.AbsoluteDiff, core.Sum, qopts...)
 		if err != nil {
 			return Fig14Result{}, err
 		}
@@ -283,8 +290,8 @@ func Fig15(sc Scale, seed int64) (Fig15Result, error) {
 	if err != nil {
 		return Fig15Result{}, err
 	}
-	tcfg := dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf}
-	baseModel, err := core.BuildDTModel(base, tcfg)
+	mc := core.DT(dtree.Config{MaxDepth: sc.TreeMaxDepth, MinLeaf: sc.TreeMinLeaf})
+	baseModel, err := mc.Induce(base, 1)
 	if err != nil {
 		return Fig15Result{}, err
 	}
@@ -294,11 +301,11 @@ func Fig15(sc Scale, seed int64) (Fig15Result, error) {
 	// 2-7); D(1) shares D's distribution and would sit at the origin.
 	for i := 1; i < len(variants); i++ {
 		d := variants[i]
-		m, err := core.BuildDTModel(d, tcfg)
+		m, err := mc.Induce(d, 1)
 		if err != nil {
 			return Fig15Result{}, err
 		}
-		dev, err := core.DTDeviation(baseModel, m, base, d, core.AbsoluteDiff, core.Sum, core.DTOptions{})
+		dev, err := core.Deviation(mc, baseModel, m, base, d, core.AbsoluteDiff, core.Sum)
 		if err != nil {
 			return Fig15Result{}, err
 		}

@@ -25,23 +25,25 @@ import (
 // fraction: the lits-model of the sample is compared against the full
 // model m with delta(f_a, g_sum).
 func LitsSampleDeviation(d *txn.Dataset, m *core.LitsModel, frac, minSup float64, rng *rand.Rand) (float64, error) {
+	mc := core.Lits(minSup)
 	s := d.SampleFraction(frac, rng)
-	ms, err := core.MineLits(s, minSup)
+	ms, err := mc.Induce(s, 1)
 	if err != nil {
 		return 0, err
 	}
-	return core.LitsDeviation(m, ms, d, s, core.AbsoluteDiff, core.Sum, core.LitsOptions{})
+	return core.Deviation(mc, m, ms, d, s, core.AbsoluteDiff, core.Sum)
 }
 
 // DTSampleDeviation computes SD for one random sample of d at the given
 // fraction using dt-models.
 func DTSampleDeviation(d *dataset.Dataset, m *core.DTModel, frac float64, cfg dtree.Config, rng *rand.Rand) (float64, error) {
+	mc := core.DT(cfg)
 	s := d.SampleFraction(frac, rng)
-	ms, err := core.BuildDTModel(s, cfg)
+	ms, err := mc.Induce(s, 1)
 	if err != nil {
 		return 0, err
 	}
-	return core.DTDeviation(m, ms, d, s, core.AbsoluteDiff, core.Sum, core.DTOptions{})
+	return core.Deviation(mc, m, ms, d, s, core.AbsoluteDiff, core.Sum)
 }
 
 // SignificanceRow is one column of Tables 1 and 2: the Wilcoxon significance

@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"focus/internal/cluster"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/txn"
+)
+
+// This file keeps the pre-ModelClass monitor API alive as thin adapters
+// over the generic Monitor: the original constructors took per-class
+// parameters and ingested element slices ([]txn.Transaction,
+// []dataset.Tuple) instead of batch datasets. Every adapter is proven
+// bit-identical to the generic pipeline by the equivalence suite at the
+// repository root.
+
+// BatchMonitor adapts a generic Monitor[D, M] to the element-slice Ingest
+// API of the original per-class monitors.
+//
+// Deprecated: use New (or focus.NewMonitor) and ingest batch datasets
+// directly.
+type BatchMonitor[B, D, M any] struct {
+	mon  *Monitor[D, M]
+	wrap func([]B) D
+}
+
+// Ingest adds one batch under the next epoch.
+func (m *BatchMonitor[B, D, M]) Ingest(batch []B) (*Report, error) {
+	return m.mon.Ingest(m.wrap(batch))
+}
+
+// IngestEpoch is Ingest with an explicit, non-decreasing epoch.
+func (m *BatchMonitor[B, D, M]) IngestEpoch(epoch int64, batch []B) (*Report, error) {
+	return m.mon.IngestEpoch(epoch, m.wrap(batch))
+}
+
+// Generic returns the underlying generic monitor.
+func (m *BatchMonitor[B, D, M]) Generic() *Monitor[D, M] { return m.mon }
+
+// Epoch returns the epoch of the most recent ingest.
+func (m *BatchMonitor[B, D, M]) Epoch() int64 { return m.mon.Epoch() }
+
+// Reports returns the number of reports emitted so far.
+func (m *BatchMonitor[B, D, M]) Reports() int { return m.mon.Reports() }
+
+// Last returns the most recent report, or nil before the first emission.
+func (m *BatchMonitor[B, D, M]) Last() *Report { return m.mon.Last() }
+
+// WindowBatches returns the number of batches currently in the window.
+func (m *BatchMonitor[B, D, M]) WindowBatches() int { return m.mon.WindowBatches() }
+
+// WindowN returns the number of transactions/tuples currently in the
+// window.
+func (m *BatchMonitor[B, D, M]) WindowN() int { return m.mon.WindowN() }
+
+// LitsMonitor monitors a stream of transaction batches through
+// lits-models.
+//
+// Deprecated: use New with the core.Lits model class.
+type LitsMonitor = BatchMonitor[txn.Transaction, *txn.Dataset, *core.LitsModel]
+
+// DTMonitor monitors a stream of tuple batches through the cells of a
+// pinned decision tree.
+//
+// Deprecated: use New with the core.PinnedDT model class.
+type DTMonitor = BatchMonitor[dataset.Tuple, *dataset.Dataset, *core.DTMeasures]
+
+// ClusterMonitor monitors a stream of tuple batches through grid-based
+// cluster-models.
+//
+// Deprecated: use New with the core.Cluster model class.
+type ClusterMonitor = BatchMonitor[dataset.Tuple, *dataset.Dataset, *core.ClusterModel]
+
+// NewLitsMonitor creates a monitor that mines a lits-model at minSupport
+// over each window and emits its deviation from the reference. ref is the
+// pinned reference dataset (with Options.PreviousWindow it only seeds the
+// first comparison, after which the reference rolls forward); its item
+// universe fixes the monitor's. The reference model is mined from ref at
+// the same minimum support.
+//
+// Deprecated: use New with the core.Lits model class.
+func NewLitsMonitor(ref *txn.Dataset, minSupport float64, opts Options) (*LitsMonitor, error) {
+	if ref == nil {
+		return nil, errors.New("stream: lits monitor requires a reference dataset")
+	}
+	if err := ref.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: invalid reference: %w", err)
+	}
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, fmt.Errorf("stream: minimum support %v outside (0,1]", minSupport)
+	}
+	mon, err := New(core.Lits(minSupport), ref, opts)
+	if err != nil {
+		return nil, err
+	}
+	numItems := ref.NumItems
+	return &LitsMonitor{
+		mon: mon,
+		wrap: func(batch []txn.Transaction) *txn.Dataset {
+			return &txn.Dataset{NumItems: numItems, Txns: batch}
+		},
+	}, nil
+}
+
+// NewDTMonitor creates a monitor that measures every window over the
+// pinned tree's leaf-by-class cells and emits its deviation from the
+// reference measures (Section 5.2). ref supplies the reference measures —
+// typically the tree's training data; it may be nil with
+// Options.PreviousWindow, in which case the first complete window becomes
+// the initial reference. The chi-squared statistic of Proposition 5.1 is
+// available by setting Options.F to core.ChiSquaredDiff(c).
+//
+// Deprecated: use New with the core.PinnedDT model class.
+func NewDTMonitor(tree *dtree.Tree, ref *dataset.Dataset, opts Options) (*DTMonitor, error) {
+	if tree == nil {
+		return nil, errors.New("stream: dt monitor requires a tree")
+	}
+	mon, err := New(core.PinnedDT(tree), ref, opts)
+	if err != nil {
+		return nil, err
+	}
+	schema := tree.Schema
+	return &DTMonitor{
+		mon: mon,
+		wrap: func(batch []dataset.Tuple) *dataset.Dataset {
+			return dataset.FromTuples(schema, batch)
+		},
+	}, nil
+}
+
+// NewClusterMonitor creates a monitor that re-induces a cluster-model over
+// grid g at minDensity from every window's aggregated cell counts and
+// emits its deviation from the reference model. ref supplies the pinned
+// reference (with Options.PreviousWindow it only seeds the first
+// comparison); it may be nil with Options.PreviousWindow, in which case
+// the first complete window becomes the initial reference.
+//
+// Deprecated: use New with the core.Cluster model class.
+func NewClusterMonitor(g *cluster.Grid, minDensity float64, ref *dataset.Dataset, opts Options) (*ClusterMonitor, error) {
+	if g == nil {
+		return nil, errors.New("stream: cluster monitor requires a grid")
+	}
+	if minDensity < 0 || minDensity > 1 {
+		return nil, fmt.Errorf("stream: minDensity %v outside [0,1]", minDensity)
+	}
+	mon, err := New(core.Cluster(g, minDensity), ref, opts)
+	if err != nil {
+		return nil, err
+	}
+	schema := g.Schema
+	return &ClusterMonitor{
+		mon: mon,
+		wrap: func(batch []dataset.Tuple) *dataset.Dataset {
+			return dataset.FromTuples(schema, batch)
+		},
+	}, nil
+}

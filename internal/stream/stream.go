@@ -4,17 +4,17 @@
 // change is interesting (Section 5.2) — run continuously over a stream of
 // batches instead of as one-off batch diffs.
 //
-// A Monitor ingests batches of transactions (lits-models) or tuples
-// (dt- and cluster-models) into a sliding or tumbling window, count- or
-// epoch-based. The window's model is maintained incrementally: every batch
-// is sealed into a mergeable, subtractable summary — per-batch itemset
-// support counts for lits-models, per-cell class counts over the pinned
-// tree for dt-models, grid-cell counts for cluster-models — so a window
-// advance subtracts the expired batch's summary and adds the new one
-// instead of rescanning retained batches. After every advance the monitor
-// emits the deviation of the current window against a pinned reference
-// model (or against the previous window), optionally bootstrap-qualified,
-// and invokes an alert callback when the deviation reaches a threshold.
+// The monitor is written once, generically, against the core.ModelClass
+// abstraction: batches are sealed into mergeable count summaries by the
+// class's Window (per-batch itemset support counts for lits-models,
+// per-cell class counts over a pinned tree for dt-models, grid-cell counts
+// for cluster-models), a window advance subtracts the expired batch's
+// summary and adds the new one instead of rescanning retained batches, and
+// every advance emits the deviation of the current window against a pinned
+// reference model (or against the previous window), optionally
+// bootstrap-qualified, invoking an alert callback when the deviation
+// reaches a threshold. A new model class streams by implementing
+// core.ModelClass alone — no change to this package.
 //
 // The determinism contract of the parallel pipeline extends to the
 // incremental one: all summaries hold integer counts, integer sums are
@@ -29,167 +29,117 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
 	"focus/internal/core"
 	"focus/internal/stats"
 )
 
-// Options configures a Monitor.
-type Options struct {
-	// WindowBatches is the number of batches a count-based window holds;
-	// it must be >= 1 unless EpochWindow selects epoch-based expiry.
-	// Sliding windows (the default) emit a report on every ingest over the
-	// most recent min(ingested, WindowBatches) batches.
-	WindowBatches int
+// Options configures a Monitor. It is the unified pipeline configuration;
+// assemble it directly or through the core functional options.
+type Options = core.Config
 
-	// Tumbling makes the count-based window tumble instead of slide: a
-	// report is emitted only when WindowBatches batches have accumulated,
-	// after which the window is cleared. Incompatible with EpochWindow.
-	Tumbling bool
+// Report is one emission of a Monitor.
+type Report = core.Report
 
-	// EpochWindow, when > 0, selects epoch-based expiry instead of
-	// batch-count expiry: every batch carries an epoch (IngestEpoch, e.g.
-	// an hour or day number), several batches may share one, and the
-	// window keeps the batches whose epoch lies in
-	// (current-EpochWindow, current].
-	EpochWindow int64
-
-	// F is the difference function (default core.AbsoluteDiff).
-	F core.DiffFunc
-	// G is the aggregate function (default core.Sum).
-	G core.AggFunc
-
-	// PreviousWindow compares each window against the window as of the
-	// previous report instead of against the pinned reference. When the
-	// monitor was constructed without reference data, the first complete
-	// window becomes the initial reference and emits no report.
-	PreviousWindow bool
-
-	// Threshold, when > 0, marks every report whose deviation is >= the
-	// threshold as an alert and invokes OnAlert.
-	Threshold float64
-	// OnAlert, when non-nil, is invoked synchronously from Ingest for
-	// every alerting report.
-	OnAlert func(Report)
-
-	// Qualify bootstraps the significance of every emitted deviation
-	// (Section 3.4): reference and window data are pooled, same-sized
-	// resample pairs re-induce models and recompute the deviation, and the
-	// report carries sig(d) against that null distribution.
-	Qualify bool
-	// Replicates is the bootstrap replicate count (default
-	// stats.DefaultBootstrapReplicates).
-	Replicates int
-	// Seed makes qualification deterministic; report Seq is added to it so
-	// successive emissions draw distinct but reproducible nulls.
-	Seed int64
-
-	// Parallelism shards batch summarization, deviation scans and
-	// bootstrap replicates across workers: 0 uses the process default,
-	// 1 forces the serial path, n >= 2 uses n workers. Results are
-	// bit-identical for every setting.
-	Parallelism int
-}
-
-func (o *Options) withDefaults() (Options, error) {
-	out := *o
-	if out.F == nil {
-		out.F = core.AbsoluteDiff
+// withDefaults validates the window policy and fills monitor defaults.
+func withDefaults(o Options) (Options, error) {
+	if o.F == nil {
+		o.F = core.AbsoluteDiff
 	}
-	if out.G == nil {
-		out.G = core.Sum
+	if o.G == nil {
+		o.G = core.Sum
 	}
-	if out.Replicates <= 0 {
-		out.Replicates = stats.DefaultBootstrapReplicates
+	if o.Replicates <= 0 {
+		o.Replicates = stats.DefaultBootstrapReplicates
 	}
-	if out.EpochWindow > 0 {
-		if out.Tumbling {
-			return out, errors.New("stream: epoch-based windows cannot tumble")
+	// Reject Config fields the monitor does not honour rather than
+	// silently ignoring them: a report the user believes is focussed (or
+	// extension-qualified) but is not would be a correctness trap.
+	if o.FocusRegion != nil || o.FocusItemsets != nil {
+		return o, errors.New("stream: focus restrictions are not supported by monitors")
+	}
+	if o.Extension {
+		return o, errors.New("stream: Extension qualification is not supported by monitors")
+	}
+	if o.EpochWindow > 0 {
+		if o.Tumbling {
+			return o, errors.New("stream: epoch-based windows cannot tumble")
 		}
-		if out.WindowBatches != 0 {
-			return out, errors.New("stream: WindowBatches and EpochWindow are mutually exclusive")
+		if o.WindowBatches != 0 {
+			return o, errors.New("stream: WindowBatches and EpochWindow are mutually exclusive")
 		}
-	} else if out.WindowBatches < 1 {
-		return out, errors.New("stream: WindowBatches must be >= 1 (or set EpochWindow > 0)")
+	} else if o.WindowBatches < 1 {
+		return o, errors.New("stream: WindowBatches must be >= 1 (or set EpochWindow > 0)")
 	}
-	return out, nil
+	return o, nil
 }
 
-// Report is one emission of a Monitor: the deviation of the current window
-// against the reference after a window advance.
-type Report struct {
-	// Seq is the 0-based emission index.
-	Seq int
-	// Epoch is the epoch of the most recent batch.
-	Epoch int64
-	// Batches is the number of batches in the window.
-	Batches int
-	// N is the number of transactions/tuples in the window.
-	N int
-	// RefN is the number of transactions/tuples on the reference side.
-	RefN int
-	// Regions is the number of GCR regions compared (GCR itemsets for
-	// lits-models, leaf-by-class cells for dt-models, overlay label pairs
-	// for cluster-models).
-	Regions int
-	// Deviation is delta(f,g) between the reference and the window.
-	Deviation float64
-	// Alert reports whether Deviation reached Options.Threshold.
-	Alert bool
-	// Qual carries the bootstrap qualification when Options.Qualify is
-	// set (Qual.Deviation equals Deviation).
-	Qual *core.Qualification
+// Monitor is an incremental windowed deviation monitor over batch datasets
+// of D through models of M. Construct one with New (or the deprecated
+// per-class constructors). A Monitor is not safe for concurrent use.
+type Monitor[D, M any] struct {
+	opts Options
+	mc   core.ModelClass[D, M]
+
+	live core.Window[D, M]
+	ref  core.Window[D, M]
+
+	refModel    M
+	hasRefModel bool
+	liveModel   M
+	liveModelOK bool
+
+	epochs []int64 // one entry per live batch, oldest first
+	epoch  int64
+	seq    int
+	last   *Report
 }
 
-// measurement is what an engine computes per emission.
-type measurement struct {
-	dev     float64
-	regions int
-	refN    int
+// New creates a monitor for the given model class. ref is the pinned
+// reference dataset; it may be the zero value (nil) when
+// Options.PreviousWindow is set, in which case the first complete window
+// becomes the initial reference and emits no report.
+func New[D, M any](mc core.ModelClass[D, M], ref D, opts Options) (*Monitor[D, M], error) {
+	o, err := withDefaults(opts)
+	if err != nil {
+		return nil, err
+	}
+	live, err := mc.NewWindow(o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor[D, M]{opts: o, mc: mc, live: live}
+	if !isNilRef(ref) {
+		// The reference window is a clone of the (empty) live window so the
+		// two share any sealed-summary bookkeeping (e.g. the lits intern
+		// table).
+		rw := live.Clone()
+		if err := rw.Add(ref, o.Parallelism); err != nil {
+			return nil, fmt.Errorf("stream: invalid reference: %w", err)
+		}
+		rm, err := rw.Induce()
+		if err != nil {
+			return nil, err
+		}
+		m.ref, m.refModel, m.hasRefModel = rw, rm, true
+	} else if !o.PreviousWindow {
+		return nil, fmt.Errorf("stream: %s monitor requires reference data unless PreviousWindow is set", mc.Name())
+	}
+	return m, nil
 }
 
-// engine is the model-class-specific half of a Monitor: it seals raw
-// batches into mergeable summaries, maintains the live window aggregate
-// incrementally, and computes deviations against its reference state.
-type engine[B any] interface {
-	// ingest seals a raw batch into a per-batch summary and adds it to the
-	// live window, returning the batch size.
-	ingest(batch []B, epoch int64) (int, error)
-	// expire removes the oldest batch from the live window, subtracting
-	// its summary from the window aggregate.
-	expire()
-	// batches returns the number of live batches; frontEpoch the epoch of
-	// the oldest; windowN the live row total.
-	batches() int
-	frontEpoch() int64
-	windowN() int
-	// hasRef reports whether a reference (pinned or snapshotted) exists.
-	hasRef() bool
-	// emit computes the deviation of the live window against the
-	// reference.
-	emit() (measurement, error)
-	// qualify bootstraps the emitted deviation with the given seed.
-	qualify(observed float64, seed int64) (*core.Qualification, error)
-	// snapshot makes the live window the reference (PreviousWindow mode).
-	snapshot() error
-	// clear empties the live window (tumbling mode).
-	clear()
-}
-
-// Monitor is an incremental windowed deviation monitor over batches of B
-// (transactions for lits-models, tuples for dt- and cluster-models).
-// Construct one with NewLitsMonitor, NewDTMonitor or NewClusterMonitor.
-// A Monitor is not safe for concurrent use.
-type Monitor[B any] struct {
-	opts  Options
-	eng   engine[B]
-	epoch int64
-	seq   int
-	last  *Report
-}
-
-func newMonitor[B any](opts Options, eng engine[B]) *Monitor[B] {
-	return &Monitor[B]{opts: opts, eng: eng}
+// isNilRef reports whether the reference value is absent (a nil pointer,
+// interface, map or slice).
+func isNilRef(v any) bool {
+	if v == nil {
+		return true
+	}
+	switch rv := reflect.ValueOf(v); rv.Kind() {
+	case reflect.Ptr, reflect.Interface, reflect.Map, reflect.Slice, reflect.Chan, reflect.Func:
+		return rv.IsNil()
+	}
+	return false
 }
 
 // Ingest adds one batch to the window under the next epoch (previous
@@ -197,75 +147,82 @@ func newMonitor[B any](opts Options, eng engine[B]) *Monitor[B] {
 // suppresses emission (a tumbling window that has not filled, or a
 // PreviousWindow monitor still waiting for its first reference window).
 // The monitor retains the batch; callers must not mutate it afterwards.
-func (m *Monitor[B]) Ingest(batch []B) (*Report, error) {
+func (m *Monitor[D, M]) Ingest(batch D) (*Report, error) {
 	return m.IngestEpoch(m.epoch+1, batch)
 }
 
 // IngestEpoch is Ingest with an explicit epoch, which must not decrease
 // from one call to the next. Epochs drive expiry when Options.EpochWindow
 // is set and are otherwise only recorded in reports.
-func (m *Monitor[B]) IngestEpoch(epoch int64, batch []B) (*Report, error) {
+func (m *Monitor[D, M]) IngestEpoch(epoch int64, batch D) (*Report, error) {
 	if epoch < m.epoch {
 		return nil, fmt.Errorf("stream: epoch %d regresses below %d", epoch, m.epoch)
 	}
 	m.epoch = epoch
-	if _, err := m.eng.ingest(batch, epoch); err != nil {
+	if err := m.live.Add(batch, m.opts.Parallelism); err != nil {
 		return nil, err
 	}
+	m.liveModelOK = false
+	m.epochs = append(m.epochs, epoch)
 
 	// Advance the window: subtract expired batches, keep the new one.
 	if m.opts.EpochWindow > 0 {
-		for m.eng.batches() > 0 && m.eng.frontEpoch() <= epoch-m.opts.EpochWindow {
-			m.eng.expire()
+		for m.live.Batches() > 0 && m.epochs[0] <= epoch-m.opts.EpochWindow {
+			m.expire()
 		}
 	} else if !m.opts.Tumbling {
-		for m.eng.batches() > m.opts.WindowBatches {
-			m.eng.expire()
+		for m.live.Batches() > m.opts.WindowBatches {
+			m.expire()
 		}
-	} else if m.eng.batches() < m.opts.WindowBatches {
+	} else if m.live.Batches() < m.opts.WindowBatches {
 		return nil, nil // tumbling window still filling
 	}
 
 	// A PreviousWindow monitor without reference data promotes its first
 	// complete window to the initial reference.
-	if m.opts.PreviousWindow && !m.eng.hasRef() {
-		if err := m.eng.snapshot(); err != nil {
+	if m.opts.PreviousWindow && !m.hasRefModel {
+		if err := m.snapshot(); err != nil {
 			return nil, err
 		}
 		if m.opts.Tumbling {
-			m.eng.clear()
+			m.clear()
 		}
 		return nil, nil
 	}
 
-	meas, err := m.eng.emit()
+	cur, err := m.induceLive()
 	if err != nil {
 		return nil, err
 	}
+	regions, err := m.mc.MeasureGCRWindows(m.refModel, cur, m.ref, m.live)
+	if err != nil {
+		return nil, err
+	}
+	dev := core.Deviation1(regions, float64(m.ref.N()), float64(m.live.N()), m.opts.F, m.opts.G)
 	rep := &Report{
 		Seq:       m.seq,
 		Epoch:     epoch,
-		Batches:   m.eng.batches(),
-		N:         m.eng.windowN(),
-		RefN:      meas.refN,
-		Regions:   meas.regions,
-		Deviation: meas.dev,
-		Alert:     m.opts.Threshold > 0 && meas.dev >= m.opts.Threshold,
+		Batches:   m.live.Batches(),
+		N:         m.live.N(),
+		RefN:      m.ref.N(),
+		Regions:   len(regions),
+		Deviation: dev,
+		Alert:     m.opts.Threshold > 0 && dev >= m.opts.Threshold,
 	}
 	if m.opts.Qualify {
-		q, err := m.eng.qualify(meas.dev, m.opts.Seed+int64(m.seq))
+		q, err := m.qualify(dev, m.opts.Seed+int64(m.seq))
 		if err != nil {
 			return nil, err
 		}
 		rep.Qual = q
 	}
 	if m.opts.PreviousWindow {
-		if err := m.eng.snapshot(); err != nil {
+		if err := m.snapshot(); err != nil {
 			return nil, err
 		}
 	}
 	if m.opts.Tumbling {
-		m.eng.clear()
+		m.clear()
 	}
 	m.seq++
 	m.last = rep
@@ -275,14 +232,78 @@ func (m *Monitor[B]) IngestEpoch(epoch int64, batch []B) (*Report, error) {
 	return rep, nil
 }
 
+// expire removes the oldest batch from the live window.
+func (m *Monitor[D, M]) expire() {
+	m.live.RemoveFront()
+	m.epochs = m.epochs[1:]
+	m.liveModelOK = false
+}
+
+// clear empties the live window (tumbling mode).
+func (m *Monitor[D, M]) clear() {
+	for m.live.Batches() > 0 {
+		m.expire()
+	}
+}
+
+// induceLive induces the current window's model, reusing the one the last
+// emission induced when the window has not advanced since.
+func (m *Monitor[D, M]) induceLive() (M, error) {
+	if m.liveModelOK {
+		return m.liveModel, nil
+	}
+	model, err := m.live.Induce()
+	if err != nil {
+		var zero M
+		return zero, err
+	}
+	m.liveModel, m.liveModelOK = model, true
+	return model, nil
+}
+
+// snapshot makes the live window the reference (PreviousWindow mode).
+func (m *Monitor[D, M]) snapshot() error {
+	model, err := m.induceLive()
+	if err != nil {
+		return err
+	}
+	m.ref = m.live.Clone()
+	m.refModel = model
+	m.hasRefModel = true
+	return nil
+}
+
+// qualify bootstraps the emitted deviation through the generic Qualify
+// pipeline over the reference and window raw data (Section 3.4 applied to
+// the monitoring statistic). Bit-identical to qualifying the batch
+// datasets directly: the windows' concatenated data induce the same models
+// as their mergeable summaries.
+func (m *Monitor[D, M]) qualify(observed float64, seed int64) (*core.Qualification, error) {
+	refData := m.ref.Data()
+	curData := m.live.Data()
+	if m.mc.Len(refData) == 0 || m.mc.Len(curData) == 0 {
+		return nil, errors.New("stream: qualification requires non-empty reference and window")
+	}
+	q, err := core.Qualify(m.mc, refData, curData, m.opts.F, m.opts.G, core.WithConfig(core.Config{
+		Replicates:  m.opts.Replicates,
+		Seed:        seed,
+		Parallelism: m.opts.Parallelism,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	q.Deviation = observed
+	return &q, nil
+}
+
 // Epoch returns the epoch of the most recent ingest.
-func (m *Monitor[B]) Epoch() int64 { return m.epoch }
+func (m *Monitor[D, M]) Epoch() int64 { return m.epoch }
 
 // Reports returns the number of reports emitted so far.
-func (m *Monitor[B]) Reports() int { return m.seq }
+func (m *Monitor[D, M]) Reports() int { return m.seq }
 
 // Last returns the most recent report, or nil before the first emission.
-func (m *Monitor[B]) Last() *Report {
+func (m *Monitor[D, M]) Last() *Report {
 	if m.last == nil {
 		return nil
 	}
@@ -291,8 +312,8 @@ func (m *Monitor[B]) Last() *Report {
 }
 
 // WindowBatches returns the number of batches currently in the window.
-func (m *Monitor[B]) WindowBatches() int { return m.eng.batches() }
+func (m *Monitor[D, M]) WindowBatches() int { return m.live.Batches() }
 
 // WindowN returns the number of transactions/tuples currently in the
 // window.
-func (m *Monitor[B]) WindowN() int { return m.eng.windowN() }
+func (m *Monitor[D, M]) WindowN() int { return m.live.N() }
