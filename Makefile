@@ -1,5 +1,10 @@
 # Developer entry points. CI runs the same targets.
 
+# bash with pipefail so piped recipes (bench's tee) fail when go test
+# fails, not when the last pipe stage does.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
 .PHONY: build test race vet api apicheck bench ci
 
 build:
@@ -25,7 +30,14 @@ api:
 apicheck:
 	go doc -all . | diff -u api/focus.txt - || (echo "public API drifted: run 'make api' and commit api/focus.txt" && exit 1)
 
+# bench runs every benchmark once with memory stats and distills the
+# machine-readable trajectory BENCH_focus.json (package-qualified name ->
+# ns/op, B/op, allocs/op). The CI smoke job uploads the file as an
+# artifact, so each PR carries its benchmark snapshot.
 bench:
-	go test -run XXX -bench . -benchtime 1x ./...
+	go test -run XXX -bench . -benchmem -benchtime 1x ./... | tee bench.out
+	go run ./cmd/benchjson < bench.out > BENCH_focus.json
+	@rm -f bench.out
+	@echo "wrote BENCH_focus.json"
 
 ci: build vet test apicheck

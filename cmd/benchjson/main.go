@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable benchmark trajectory BENCH_focus.json on stdout: a JSON
+// object mapping each benchmark's package-qualified name to its ns/op and,
+// when -benchmem was set, B/op and allocs/op. CI runs it after `make bench`
+// and uploads the file as an artifact, so per-PR performance history is one
+// download away.
+//
+//	go test -run XXX -bench . -benchmem ./... | benchjson > BENCH_focus.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is the per-benchmark record.
+type result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64    `json:"iterations"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	results := make(map[string]result)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  ns/op-value ns/op  [B/op-value B/op  allocs-value allocs/op]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		// Keep the name verbatim (including any -GOMAXPROCS suffix):
+		// stripping a trailing -<digits> would collapse parameterized
+		// sub-benchmarks like rows-1000 vs rows-20000 into one key on
+		// runners where go test emits no suffix.
+		name := fields[0]
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		res := result{NsPerOp: ns, Iterations: iters}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp = &v
+			case "allocs/op":
+				res.AllocsPerOp = &v
+			}
+		}
+		results[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	// A sorted rendering keeps artifact diffs stable across runs.
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "{")
+	for i, name := range names {
+		rec, err := json.Marshal(results[name])
+		if err != nil {
+			return err
+		}
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		key, err := json.Marshal(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "  %s: %s%s\n", key, rec, comma)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBenchJSON(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: focus
+BenchmarkPump/source-8         	       3	   1234567 ns/op	  650000 B/op	    1200 allocs/op
+BenchmarkPump/readcsv-8        	       2	   2345678 ns/op	  950000 B/op	    2400 allocs/op
+pkg: focus/internal/stream
+BenchmarkWindowAdvance-8       	     100	     98765.5 ns/op
+PASS
+ok  	focus	1.2s
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got map[string]struct {
+		NsPerOp     float64  `json:"ns_per_op"`
+		BytesPerOp  *float64 `json:"bytes_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
+		Iterations  int64    `json:"iterations"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	src, ok := got["focus.BenchmarkPump/source-8"]
+	if !ok {
+		t.Fatalf("missing package-qualified verbatim name: %v", got)
+	}
+	if src.NsPerOp != 1234567 || src.Iterations != 3 {
+		t.Fatalf("source record %+v", src)
+	}
+	if src.BytesPerOp == nil || *src.BytesPerOp != 650000 || src.AllocsPerOp == nil || *src.AllocsPerOp != 1200 {
+		t.Fatalf("source memory stats %+v", src)
+	}
+	win := got["focus/internal/stream.BenchmarkWindowAdvance-8"]
+	if win.NsPerOp != 98765.5 || win.BytesPerOp != nil {
+		t.Fatalf("no-benchmem record %+v", win)
+	}
+}
+
+// TestBenchJSONParameterizedNames pins that sub-benchmarks whose names end
+// in -<digits> stay distinct when go test emits no GOMAXPROCS suffix
+// (single-proc runners).
+func TestBenchJSONParameterizedNames(t *testing.T) {
+	input := `pkg: focus
+BenchmarkX/rows-1000      	      10	    111 ns/op
+BenchmarkX/rows-20000     	      10	    222 ns/op
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got map[string]map[string]any
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parameterized names collapsed: %v", got)
+	}
+}
+
+func TestBenchJSONEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("no benchmarks accepted silently")
+	}
+}

@@ -1,0 +1,78 @@
+// Command focusd serves FOCUS deviation monitoring over HTTP: a
+// multi-tenant registry of named monitor sessions (lits, dt or cluster
+// model classes), each an incremental windowed monitor pinned on reference
+// data, fed batches of JSON rows and queried for deviation reports and
+// threshold alerts.
+//
+//	focusd -addr 127.0.0.1:8080
+//
+// The endpoint table lives on serve.Registry.Handler; the README's
+// "Streaming sources & serving" section walks through the API with curl.
+// On startup focusd prints one line, "focusd listening on ADDR", so
+// scripts (and the smoke test) can bind port 0 and discover the address.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"focus/internal/parallel"
+	"focus/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "focusd:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the server until SIGINT/SIGTERM, writing the listening line
+// to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("focusd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
+	par := fs.Int("parallelism", 0, "worker count for scans and bootstrap (0 = GOMAXPROCS, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parallel.SetDefault(*par)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "focusd listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           serve.NewRegistry().Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

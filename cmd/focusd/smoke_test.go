@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFocusdSmoke is the end-to-end serving test: build the focusd binary,
+// boot it on an ephemeral port, create a session from the checked-in smoke
+// fixtures, POST a matching batch then a drifted batch against the pinned
+// reference, and assert the threshold alert appears in the report endpoint
+// — the same scenario the focusd-smoke CI job replays with curl.
+func TestFocusdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "focusd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("StdoutPipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting focusd: %v", err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// focusd announces its ephemeral address on stdout.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("focusd printed no listening line: %v", sc.Err())
+	}
+	line := sc.Text()
+	const prefix = "focusd listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimPrefix(line, prefix)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func(path, fixture string) map[string]any {
+		t.Helper()
+		body, err := os.ReadFile(filepath.Join("testdata", "smoke", fixture))
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("POST %s: decoding: %v", path, err)
+		}
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: status %d: %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	if resp, err := client.Get(base + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	post("/v1/sessions", "create.json")
+	if rep := post("/v1/sessions/smoke/batches", "batch-base.json")["report"].(map[string]any); rep["alert"].(bool) {
+		t.Fatalf("baseline batch alerted: %v", rep)
+	}
+	if rep := post("/v1/sessions/smoke/batches", "batch-drift.json")["report"].(map[string]any); !rep["alert"].(bool) {
+		t.Fatalf("drifted batch did not alert: %v", rep)
+	}
+
+	resp, err := client.Get(base + "/v1/sessions/smoke/reports")
+	if err != nil {
+		t.Fatalf("reports: %v", err)
+	}
+	defer resp.Body.Close()
+	var reports struct {
+		Reports []map[string]any `json:"reports"`
+		Alerts  int              `json:"alerts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reports); err != nil {
+		t.Fatalf("decoding reports: %v", err)
+	}
+	if reports.Alerts != 1 || len(reports.Reports) != 2 {
+		t.Fatalf("reports endpoint: %+v", reports)
+	}
+	if !reports.Reports[1]["alert"].(bool) {
+		t.Fatalf("alert not in report endpoint: %+v", reports)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("signalling focusd: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("focusd exited with: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("focusd did not shut down after SIGINT")
+	}
+}

@@ -3,8 +3,10 @@ package focus_test
 // Testable examples of the unified ModelClass API, shown in godoc.
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"focus"
 )
@@ -85,4 +87,29 @@ func ExampleNewMonitor() {
 	// Output:
 	// day 0: delta = 0.0000 over 7 regions (ok)
 	// day 1: delta = 2.7500 over 8 regions (ALERT)
+}
+
+func ExamplePump() {
+	week1, _ := exampleData()
+	// A Source decodes data incrementally — here the line-oriented
+	// transaction format, re-batched to 8 transactions per batch — and
+	// Pump drives it through a monitor pinned on week 1.
+	var stream strings.Builder
+	if err := repeatTxns(2, week2Mix).Write(&stream); err != nil {
+		log.Fatal(err)
+	}
+	mon, err := focus.NewMonitor(focus.Lits(0.25), week1,
+		focus.WithWindow(1), focus.WithThreshold(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := focus.Chunked(focus.TxnSource(strings.NewReader(stream.String())), 8)
+	n, err := focus.Pump(context.Background(), src, mon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := mon.Last()
+	fmt.Printf("pumped %d batches: delta = %.4f (alert=%v)\n", n, last.Deviation, last.Alert)
+	// Output:
+	// pumped 2 batches: delta = 2.7500 (alert=true)
 }

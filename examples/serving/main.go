@@ -1,0 +1,163 @@
+// Serving: deviation monitoring as a service. focusd (internal/serve)
+// exposes a multi-tenant registry of monitor sessions over HTTP/JSON: a
+// client creates a named session pinned on reference data, streams batches
+// at it, and polls reports and alerts — the change-detection-as-a-service
+// framing of the monitoring literature on top of the paper's measurement
+// core.
+//
+// The example boots the focusd handler in-process on an ephemeral port,
+// then plays an HTTP client: it creates a streaming source from CSV-shaped
+// tuple data, drives a cluster session through a drift (salary
+// distribution shifts after day 3), and reads the alert back out of the
+// report endpoint. Against a deployed focusd, only the base URL changes.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"focus"
+	"focus/internal/classgen"
+	"focus/internal/dataset"
+	"focus/internal/serve"
+)
+
+func main() {
+	// Server side: focusd is serve.NewRegistry().Handler() behind a
+	// listener; here it runs in-process.
+	ts := httptest.NewServer(serve.NewRegistry().Handler())
+	defer ts.Close()
+	fmt.Printf("focusd serving on %s\n\n", ts.URL)
+
+	// Reference data: last quarter's tuples, shipped as JSON rows.
+	ref, err := classgen.Generate(classgen.Config{NumTuples: 4000, Function: classgen.F1, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	post(ts.URL+"/v1/sessions", map[string]any{
+		"name":        "payroll",
+		"model":       "cluster",
+		"schema":      schemaJSON(),
+		"grid_attrs":  []string{"salary", "age"},
+		"grid_bins":   6,
+		"min_density": 0.02, // cells below 2% density are noise, not clusters
+		"window":      2,
+		"threshold":   0.4,
+		"reference":   rowsJSON(ref),
+	})
+	fmt.Println("created session \"payroll\" (cluster model over salary x age, window 2, threshold 0.4)")
+
+	// Client side: each day's batch POSTs to the session. Days 0-2 match
+	// the reference process; day 3 onward the salary distribution
+	// collapses toward its lower half (a pay freeze), moving mass across
+	// grid cells.
+	for day := 0; day < 6; day++ {
+		note := "same process"
+		batch, err := classgen.Generate(classgen.Config{NumTuples: 1500, Function: classgen.F1, Seed: 100 + int64(day)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if day >= 3 {
+			note = "drift injected"
+			for _, t := range batch.Tuples {
+				t[classgen.AttrSalary] = 20000 + (t[classgen.AttrSalary]-20000)*0.4
+			}
+		}
+		resp := post(ts.URL+"/v1/sessions/payroll/batches", map[string]any{
+			"epoch": day,
+			"rows":  rowsJSON(batch),
+		})
+		rep := resp["report"].(map[string]any)
+		alert := ""
+		if rep["alert"].(bool) {
+			alert = "   <<< ALERT"
+		}
+		fmt.Printf("day %d (%s): deviation %.4f over %v regions%s\n",
+			day, note, rep["deviation"].(float64), rep["regions"], alert)
+	}
+
+	// Poll the report endpoint like a dashboard would.
+	var reports struct {
+		Reports []map[string]any `json:"reports"`
+		Alerts  int              `json:"alerts"`
+	}
+	get(ts.URL+"/v1/sessions/payroll/reports", &reports)
+	fmt.Printf("\nreport endpoint: %d reports, %d alerts\n", len(reports.Reports), reports.Alerts)
+	if reports.Alerts == 0 {
+		log.Fatal("serving example ended without an alert on the drifted stream")
+	}
+}
+
+// schemaJSON renders the classgen schema in the focusd wire format.
+func schemaJSON() map[string]any {
+	s := classgen.Schema()
+	attrs := make([]map[string]any, 0, len(s.Attrs))
+	for _, a := range s.Attrs {
+		if a.Kind == dataset.Numeric {
+			attrs = append(attrs, map[string]any{"name": a.Name, "kind": "numeric", "min": a.Min, "max": a.Max})
+		} else {
+			attrs = append(attrs, map[string]any{"name": a.Name, "kind": "categorical", "values": a.Values})
+		}
+	}
+	out := map[string]any{"attrs": attrs}
+	if s.Class >= 0 {
+		out["class"] = s.Attrs[s.Class].Name
+	}
+	return out
+}
+
+// rowsJSON renders a dataset's tuples as wire rows (objects keyed by
+// attribute name).
+func rowsJSON(d *focus.Dataset) []map[string]any {
+	rows := make([]map[string]any, len(d.Tuples))
+	for i, t := range d.Tuples {
+		row := make(map[string]any, len(t))
+		for j, v := range t {
+			a := &d.Schema.Attrs[j]
+			if a.Values != nil {
+				row[a.Name] = a.Values[int(v)]
+			} else {
+				row[a.Name] = v
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func post(url string, body any) map[string]any {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func get(url string, dst any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		log.Fatal(err)
+	}
+}

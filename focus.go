@@ -85,9 +85,23 @@
 // deviation against a pinned reference (or the previous window) —
 // bit-identical to rebuilding the window's model from scratch — with
 // optional threshold alerts and bootstrap qualification.
+//
+// Data enters the framework through streaming sources: a Source yields a
+// dataset as successive batches decoded incrementally in bounded memory
+// (TxnSource, CSVSource, JSONLSource, SliceSource, re-batched with
+// Chunked), ReadCSV/ReadJSONL/ReadTxns are thin drains of the
+// corresponding source, and Pump wires any source into a monitor.
+// Monitors serialize intake, so any number of producers can feed one
+// monitor concurrently. The serving layer built on top (internal/serve,
+// command focusd) exposes a multi-tenant registry of named monitor
+// sessions — create with a model class and reference, feed batches, read
+// reports and alerts — as an HTTP/JSON API.
 package focus
 
 import (
+	"context"
+	"io"
+
 	"focus/internal/apriori"
 	"focus/internal/cluster"
 	"focus/internal/core"
@@ -95,6 +109,7 @@ import (
 	"focus/internal/dtree"
 	"focus/internal/parallel"
 	"focus/internal/region"
+	"focus/internal/source"
 	"focus/internal/stream"
 	"focus/internal/txn"
 )
@@ -492,6 +507,67 @@ func RankItemsets(sets []Itemset, d1, d2 *TxnDataset, f DiffFunc) []RankedItemse
 // TopItemsets selects the first n ranked itemsets.
 func TopItemsets(ranked []RankedItemset, n int) []RankedItemset {
 	return core.TopItemsets(ranked, n)
+}
+
+// Streaming sources: data enters the framework as a Source — successive
+// batches decoded incrementally in bounded memory — rather than as one
+// in-memory slurp. Sources feed monitors through Pump and back the focusd
+// serving layer.
+type (
+	// Source yields a dataset as successive batches of type D: Next
+	// returns the next batch, io.EOF after the last. Sources are not safe
+	// for concurrent use; monitors are, so fan-in happens at the monitor.
+	Source[D any] = source.Source[D]
+	// SourceFunc adapts a function to a Source.
+	SourceFunc[D any] = source.Func[D]
+	// Sliceable constrains the batch types Chunked can split and join;
+	// both Dataset and TxnDataset satisfy it.
+	Sliceable[D any] = source.Sliceable[D]
+)
+
+// SliceSource returns a Source yielding the given in-memory batches in
+// order.
+func SliceSource[D any](batches ...D) Source[D] { return source.Slice(batches...) }
+
+// Chunked re-batches src into batches of exactly batchRows rows (the final
+// batch may be smaller), decoupling a decoder's read granularity from the
+// monitor's batch granularity.
+func Chunked[D Sliceable[D]](src Source[D], batchRows int) Source[D] {
+	return source.Chunked(src, batchRows)
+}
+
+// TxnSource returns a streaming decoder of the line-oriented transaction
+// format: batches of validated transactions in bounded memory, with line
+// numbers preserved in errors.
+func TxnSource(r io.Reader) Source[*TxnDataset] { return txn.NewSource(r) }
+
+// CSVSource returns a streaming decoder of CSV data on schema s: batches of
+// validated tuples in bounded memory, failing at the first malformed row
+// with its line number.
+func CSVSource(r io.Reader, s *Schema) Source[*Dataset] { return dataset.NewCSVSource(r, s) }
+
+// JSONLSource returns a streaming decoder of JSON Lines data on schema s:
+// one object per line mapping attribute names to values (numbers for
+// numeric attributes, value names for categorical ones).
+func JSONLSource(r io.Reader, s *Schema) Source[*Dataset] { return dataset.NewJSONLSource(r, s) }
+
+// ReadCSV reads a whole dataset by draining a CSVSource; the result is
+// identical to collecting the source's batches.
+func ReadCSV(r io.Reader, s *Schema) (*Dataset, error) { return dataset.ReadCSV(r, s) }
+
+// ReadJSONL reads a whole dataset by draining a JSONLSource.
+func ReadJSONL(r io.Reader, s *Schema) (*Dataset, error) { return dataset.ReadJSONL(r, s) }
+
+// ReadTxns reads a whole transaction dataset by draining a TxnSource; the
+// result is identical to collecting the source's batches.
+func ReadTxns(r io.Reader) (*TxnDataset, error) { return txn.Read(r) }
+
+// Pump drains src into the monitor: every batch is ingested in order until
+// the source is exhausted (io.EOF), the context is cancelled, or an error
+// occurs. It returns the number of batches ingested. Monitors serialize
+// intake, so any number of Pump goroutines can feed one monitor.
+func Pump[D, M any](ctx context.Context, src Source[D], m *Monitor[D, M]) (int, error) {
+	return stream.Pump(ctx, src, m)
 }
 
 // Streaming monitors (the monitoring regime of Section 5.2 run

@@ -2,10 +2,10 @@ package dataset
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 )
 
@@ -48,69 +48,34 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV reads a dataset in the format produced by WriteCSV. The schema must
-// be supplied; the header row is checked against it.
+// be supplied; the header row is checked against it. It drains a CSVSource,
+// so rows are validated incrementally as they are decoded — a malformed row
+// fails after ~that many rows in bounded memory, not after buffering the
+// whole input — and a successful read always yields a dataset that
+// satisfies Validate.
 func ReadCSV(r io.Reader, s *Schema) (*Dataset, error) {
-	cr := csv.NewReader(bufio.NewReader(r))
-	cr.ReuseRecord = true
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
-	}
-	if len(header) != len(s.Attrs) {
-		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), len(s.Attrs))
-	}
-	for i, name := range header {
-		if name != s.Attrs[i].Name {
-			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, s.Attrs[i].Name)
-		}
-	}
-	// Build per-attribute decode tables for categorical values.
-	decode := make([]map[string]float64, len(s.Attrs))
-	for i := range s.Attrs {
-		if s.Attrs[i].Kind == Categorical {
-			m := make(map[string]float64, len(s.Attrs[i].Values))
-			for j, v := range s.Attrs[i].Values {
-				m[v] = float64(j)
-			}
-			decode[i] = m
-		}
-	}
+	return drain(NewCSVSource(r, s), s)
+}
+
+// ReadJSONL reads a dataset in the JSON Lines format produced by WriteJSONL
+// by draining a JSONLSource.
+func ReadJSONL(r io.Reader, s *Schema) (*Dataset, error) {
+	return drain(NewJSONLSource(r, s), s)
+}
+
+// drain collects every batch of src into one dataset.
+func drain(src interface {
+	Next(ctx context.Context) (*Dataset, error)
+}, s *Schema) (*Dataset, error) {
 	d := New(s)
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
+	for {
+		batch, err := src.Next(context.Background())
 		if err == io.EOF {
-			break
+			return d, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+			return nil, err
 		}
-		t := make(Tuple, len(rec))
-		for j, field := range rec {
-			if m := decode[j]; m != nil {
-				v, ok := m[field]
-				if !ok {
-					return nil, fmt.Errorf("dataset: line %d: unknown value %q for attribute %q", line, field, s.Attrs[j].Name)
-				}
-				t[j] = v
-				continue
-			}
-			v, err := strconv.ParseFloat(field, 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d attribute %q: %w", line, s.Attrs[j].Name, err)
-			}
-			// ParseFloat accepts "NaN" and "Inf"; a non-finite value would
-			// poison every downstream count.
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("dataset: line %d attribute %q: value %q is not finite", line, s.Attrs[j].Name, field)
-			}
-			t[j] = v
-		}
-		d.Tuples = append(d.Tuples, t)
+		d.Tuples = append(d.Tuples, batch.Tuples...)
 	}
-	// Reject out-of-domain values as well, so a successful read always
-	// yields a dataset that satisfies Validate.
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	return d, nil
 }

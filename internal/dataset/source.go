@@ -1,0 +1,339 @@
+package dataset
+
+import (
+	"bufio"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// SourceBatchRows is the number of rows per batch the streaming decoders
+// emit. Decoders hold at most one batch of decoded rows plus the underlying
+// bufio buffer, so memory stays bounded regardless of input size; re-batch
+// with source.Chunked when a different batch granularity is needed.
+const SourceBatchRows = 4096
+
+// Slice returns the sub-dataset of rows [lo, hi), sharing tuple storage
+// with d.
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	return &Dataset{Schema: d.Schema, Tuples: d.Tuples[lo:hi:hi]}
+}
+
+// CSVSource is an incremental decoder of the CSV format produced by
+// WriteCSV: Next yields batches of up to SourceBatchRows validated tuples.
+// The header row is read and checked against the schema on the first call.
+// Every row is validated as it is decoded — finite values inside the
+// attribute domains — so a malformed row at offset k fails after decoding
+// ~k rows, with the 1-based CSV line number preserved in the error, instead
+// of after buffering the whole input. A CSVSource is not safe for
+// concurrent use.
+type CSVSource struct {
+	cr     *csv.Reader
+	schema *Schema
+	decode []map[string]float64 // per-attribute categorical decode tables
+	line   int                  // 1-based line of the next record
+	err    error                // sticky terminal state
+}
+
+// NewCSVSource returns a streaming decoder of CSV data on schema s.
+func NewCSVSource(r io.Reader, s *Schema) *CSVSource {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	return &CSVSource{cr: cr, schema: s}
+}
+
+// header reads and checks the header row and builds the categorical decode
+// tables.
+func (src *CSVSource) header() error {
+	header, err := src.cr.Read()
+	if err != nil {
+		return fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	s := src.schema
+	if len(header) != len(s.Attrs) {
+		return fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), len(s.Attrs))
+	}
+	for i, name := range header {
+		if name != s.Attrs[i].Name {
+			return fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, s.Attrs[i].Name)
+		}
+	}
+	src.decode = make([]map[string]float64, len(s.Attrs))
+	for i := range s.Attrs {
+		if s.Attrs[i].Kind == Categorical {
+			m := make(map[string]float64, len(s.Attrs[i].Values))
+			for j, v := range s.Attrs[i].Values {
+				m[v] = float64(j)
+			}
+			src.decode[i] = m
+		}
+	}
+	src.line = 2
+	return nil
+}
+
+// Next returns the next batch of up to SourceBatchRows tuples, io.EOF after
+// the last, or the first decode error. A decode error is terminal and
+// discards the partially decoded batch.
+func (src *CSVSource) Next(ctx context.Context) (*Dataset, error) {
+	if src.err != nil {
+		return nil, src.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if src.line == 0 {
+		if err := src.header(); err != nil {
+			src.err = err
+			return nil, err
+		}
+	}
+	s := src.schema
+	batch := New(s)
+	for len(batch.Tuples) < SourceBatchRows {
+		rec, err := src.cr.Read()
+		if err == io.EOF {
+			src.err = io.EOF
+			break
+		}
+		if err != nil {
+			src.err = fmt.Errorf("dataset: reading CSV line %d: %w", src.line, err)
+			return nil, src.err
+		}
+		t := make(Tuple, len(rec))
+		for j, field := range rec {
+			if m := src.decode[j]; m != nil {
+				v, ok := m[field]
+				if !ok {
+					src.err = fmt.Errorf("dataset: line %d: unknown value %q for attribute %q", src.line, field, s.Attrs[j].Name)
+					return nil, src.err
+				}
+				t[j] = v
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				src.err = fmt.Errorf("dataset: line %d attribute %q: %w", src.line, s.Attrs[j].Name, err)
+				return nil, src.err
+			}
+			// ParseFloat accepts "NaN" and "Inf"; a non-finite value would
+			// poison every downstream count.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				src.err = fmt.Errorf("dataset: line %d attribute %q: value %q is not finite", src.line, s.Attrs[j].Name, field)
+				return nil, src.err
+			}
+			if !s.Attrs[j].Contains(v) {
+				src.err = fmt.Errorf("dataset: line %d attribute %q: value %v outside domain", src.line, s.Attrs[j].Name, v)
+				return nil, src.err
+			}
+			t[j] = v
+		}
+		batch.Tuples = append(batch.Tuples, t)
+		src.line++
+	}
+	if len(batch.Tuples) == 0 {
+		return nil, src.err
+	}
+	return batch, nil
+}
+
+// JSONLSource is an incremental decoder of JSON Lines data: one JSON object
+// per line mapping attribute names to values (numbers for numeric
+// attributes, value names for categorical ones), as produced by WriteJSONL.
+// Blank lines are skipped. Rows are validated as they are decoded, with the
+// 1-based line number preserved in errors. A JSONLSource is not safe for
+// concurrent use.
+type JSONLSource struct {
+	sc     *bufio.Scanner
+	schema *Schema
+	dec    *TupleDecoder
+	line   int
+	err    error
+}
+
+// NewJSONLSource returns a streaming decoder of JSON Lines data on schema s.
+func NewJSONLSource(r io.Reader, s *Schema) *JSONLSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &JSONLSource{sc: sc, schema: s, dec: NewTupleDecoder(s)}
+}
+
+// Next returns the next batch of up to SourceBatchRows tuples, io.EOF after
+// the last, or the first decode error. A decode error is terminal and
+// discards the partially decoded batch.
+func (src *JSONLSource) Next(ctx context.Context) (*Dataset, error) {
+	if src.err != nil {
+		return nil, src.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	batch := New(src.schema)
+	for len(batch.Tuples) < SourceBatchRows {
+		if !src.sc.Scan() {
+			if err := src.sc.Err(); err != nil {
+				src.err = fmt.Errorf("dataset: reading JSONL line %d: %w", src.line+1, err)
+				return nil, src.err
+			}
+			src.err = io.EOF
+			break
+		}
+		src.line++
+		text := src.sc.Bytes()
+		if len(trimSpace(text)) == 0 {
+			continue
+		}
+		t, err := src.dec.Decode(text)
+		if err != nil {
+			src.err = fmt.Errorf("dataset: JSONL line %d: %w", src.line, err)
+			return nil, src.err
+		}
+		batch.Tuples = append(batch.Tuples, t)
+	}
+	if len(batch.Tuples) == 0 {
+		return nil, src.err
+	}
+	return batch, nil
+}
+
+// trimSpace trims ASCII whitespace without allocating.
+func trimSpace(b []byte) []byte {
+	lo, hi := 0, len(b)
+	for lo < hi && (b[lo] == ' ' || b[lo] == '\t' || b[lo] == '\r' || b[lo] == '\n') {
+		lo++
+	}
+	for lo < hi && (b[hi-1] == ' ' || b[hi-1] == '\t' || b[hi-1] == '\r' || b[hi-1] == '\n') {
+		hi--
+	}
+	return b[lo:hi]
+}
+
+// TupleDecoder decodes JSON row objects into validated tuples on one
+// schema, with the per-attribute categorical decode tables built once —
+// the hot-path form of UnmarshalTupleJSON for row streams (JSONLSource,
+// the focusd batch endpoints). A TupleDecoder is safe for concurrent use.
+type TupleDecoder struct {
+	schema *Schema
+	decode []map[string]float64 // per-attribute categorical decode tables
+}
+
+// NewTupleDecoder builds a row decoder on schema s.
+func NewTupleDecoder(s *Schema) *TupleDecoder {
+	decode := make([]map[string]float64, len(s.Attrs))
+	for i := range s.Attrs {
+		if s.Attrs[i].Kind == Categorical {
+			m := make(map[string]float64, len(s.Attrs[i].Values))
+			for j, v := range s.Attrs[i].Values {
+				m[v] = float64(j)
+			}
+			decode[i] = m
+		}
+	}
+	return &TupleDecoder{schema: s, decode: decode}
+}
+
+// Decode decodes one JSON object mapping attribute names to values into a
+// validated tuple: numeric attributes take finite JSON numbers inside
+// their domain, categorical attributes take their value names as JSON
+// strings. Every attribute of the schema must be present and no other keys
+// are allowed.
+func (td *TupleDecoder) Decode(data []byte) (Tuple, error) {
+	s := td.schema
+	var row map[string]json.RawMessage
+	if err := json.Unmarshal(data, &row); err != nil {
+		return nil, err
+	}
+	t := make(Tuple, len(s.Attrs))
+	for j := range s.Attrs {
+		a := &s.Attrs[j]
+		raw, ok := row[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("missing attribute %q", a.Name)
+		}
+		if m := td.decode[j]; m != nil {
+			var name string
+			if err := json.Unmarshal(raw, &name); err != nil {
+				return nil, fmt.Errorf("attribute %q: %w", a.Name, err)
+			}
+			v, ok := m[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown value %q for attribute %q", name, a.Name)
+			}
+			t[j] = v
+			continue
+		}
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", a.Name, err)
+		}
+		// JSON numbers cannot encode NaN/Inf, but guard anyway so the
+		// validated-output invariant never depends on the decoder.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("attribute %q: value is not finite", a.Name)
+		}
+		if !a.Contains(v) {
+			return nil, fmt.Errorf("attribute %q: value %v outside domain", a.Name, v)
+		}
+		t[j] = v
+	}
+	if len(row) != len(s.Attrs) {
+		for name := range row {
+			if s.AttrIndex(name) < 0 {
+				return nil, fmt.Errorf("unknown attribute %q", name)
+			}
+		}
+	}
+	return t, nil
+}
+
+// UnmarshalTupleJSON decodes one JSON row object into a validated tuple on
+// s. For row streams, build a TupleDecoder once instead.
+func UnmarshalTupleJSON(s *Schema, data []byte) (Tuple, error) {
+	return NewTupleDecoder(s).Decode(data)
+}
+
+// WriteJSONL writes the dataset as JSON Lines in the format JSONLSource
+// reads: one object per tuple with attributes in schema order, categorical
+// values written by name and numeric values with full float64 precision.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for i, t := range d.Tuples {
+		buf = buf[:0]
+		buf = append(buf, '{')
+		for j, v := range t {
+			a := &d.Schema.Attrs[j]
+			if j > 0 {
+				buf = append(buf, ',')
+			}
+			name, err := json.Marshal(a.Name)
+			if err != nil {
+				return err
+			}
+			buf = append(buf, name...)
+			buf = append(buf, ':')
+			if a.Kind == Categorical {
+				iv := int(v)
+				if iv < 0 || iv >= len(a.Values) {
+					return fmt.Errorf("dataset: tuple %d: categorical value %v outside domain of %q", i, v, a.Name)
+				}
+				val, err := json.Marshal(a.Values[iv])
+				if err != nil {
+					return err
+				}
+				buf = append(buf, val...)
+			} else {
+				buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+			}
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

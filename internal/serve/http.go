@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies: batches stream row-by-row into the
+// monitor anyway, so an unbounded body would only buy an allocation bomb.
+const maxBodyBytes = 64 << 20
+
+// statusError carries an HTTP status through the registry/session layer.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// badRequest wraps a client mistake as a 400.
+func badRequest(msg string) error { return &statusError{code: http.StatusBadRequest, msg: msg} }
+
+// Handler returns the HTTP API of the registry:
+//
+//	GET    /healthz                     liveness probe
+//	GET    /v1/sessions                 list session states
+//	POST   /v1/sessions                 create a session (SessionConfig body)
+//	GET    /v1/sessions/{name}          session state snapshot
+//	DELETE /v1/sessions/{name}          delete a session
+//	POST   /v1/sessions/{name}/batches  feed one batch ({"epoch"?, "rows"} body)
+//	GET    /v1/sessions/{name}/reports  recent reports + alert count
+//
+// Malformed configuration, schemas and batches map to 400, unknown sessions
+// to 404, duplicate names to 409; every response body is JSON.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		names := r.Names()
+		states := make([]SessionState, 0, len(names))
+		for _, name := range names {
+			if s, ok := r.Get(name); ok {
+				states = append(states, s.State())
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": states})
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		var cfg SessionConfig
+		if err := decodeBody(w, req, &cfg); err != nil {
+			writeError(w, err)
+			return
+		}
+		s, err := r.Create(cfg)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.State())
+	})
+	mux.HandleFunc("GET /v1/sessions/{name}", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.session(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.State())
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{name}", func(w http.ResponseWriter, req *http.Request) {
+		if !r.Delete(req.PathValue("name")) {
+			writeError(w, notFound(req.PathValue("name")))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/sessions/{name}/batches", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.session(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		var fr feedRequest
+		if err := decodeBody(w, req, &fr); err != nil {
+			writeError(w, err)
+			return
+		}
+		if len(fr.Rows) == 0 {
+			writeError(w, badRequest("rows required"))
+			return
+		}
+		rep, err := s.Feed(fr.Epoch, fr.Rows)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, feedResponse{Report: rep})
+	})
+	mux.HandleFunc("GET /v1/sessions/{name}/reports", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.session(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		reports, alerts := s.Reports()
+		writeJSON(w, http.StatusOK, reportsResponse{Reports: reports, Alerts: alerts})
+	})
+	return mux
+}
+
+// session resolves the {name} path value.
+func (r *Registry) session(req *http.Request) (*Session, error) {
+	name := req.PathValue("name")
+	s, ok := r.Get(name)
+	if !ok {
+		return nil, notFound(name)
+	}
+	return s, nil
+}
+
+func notFound(name string) error {
+	return &statusError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", name)}
+}
+
+// decodeBody strictly decodes a JSON request body into dst: unknown fields
+// and trailing garbage are client errors, and bodies are capped at
+// maxBodyBytes.
+func decodeBody(w http.ResponseWriter, req *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &statusError{code: http.StatusRequestEntityTooLarge, msg: err.Error()}
+		}
+		return badRequest(fmt.Sprintf("decoding request body: %v", err))
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeError renders err as a JSON error response, defaulting unclassified
+// errors to 500.
+func writeError(w http.ResponseWriter, err error) {
+	var se *statusError
+	if errors.As(err, &se) {
+		writeJSON(w, se.code, errorResponse{Error: se.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+}
+
+// writeJSON renders v with the given status. Encode errors are
+// unreportable — the status line is already out — so they are dropped.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,378 @@
+// Package serve is the serving subsystem of the framework: a multi-tenant
+// registry of named monitor sessions exposed as an HTTP/JSON API. Each
+// session wraps one incremental windowed monitor (internal/stream) over one
+// model class — lits, dt (pinned tree) or cluster — created with a pinned
+// reference and a window/emission policy, fed batches of rows, and queried
+// for reports, alerts and window state. Command focusd serves a Registry
+// over HTTP; see Registry.Handler for the endpoint table.
+//
+// Sessions are independent and concurrency-safe: the registry serializes
+// create/delete, each session serializes its own intake (on top of the
+// monitor's own lock), and any number of clients may feed and query any
+// number of sessions concurrently.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"focus/internal/cluster"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/dtree"
+	"focus/internal/stream"
+	"focus/internal/txn"
+)
+
+// DefaultMaxReports is the number of recent reports a session retains for
+// the reports endpoint.
+const DefaultMaxReports = 256
+
+// Registry is a multi-tenant collection of named monitor sessions. Create
+// one with NewRegistry; it is safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	sessions   map[string]*Session
+	maxReports int
+}
+
+// NewRegistry returns an empty registry retaining DefaultMaxReports recent
+// reports per session.
+func NewRegistry() *Registry {
+	return &Registry{sessions: make(map[string]*Session), maxReports: DefaultMaxReports}
+}
+
+// Session is one named monitor session. Its intake and queries are safe for
+// concurrent use.
+type Session struct {
+	name  string
+	model string
+
+	mu      sync.Mutex
+	ingest  func(epoch *int64, rows json.RawMessage) (*stream.Report, error)
+	state   func() (epoch int64, batches, n, reports int)
+	last    *ReportJSON
+	reports []ReportJSON // ring of recent emissions, oldest first
+	alerts  int
+	max     int
+}
+
+// Name returns the session name.
+func (s *Session) Name() string { return s.name }
+
+// Model returns the session's model class name.
+func (s *Session) Model() string { return s.model }
+
+// Create validates cfg, builds the model class and monitor, and registers
+// the session under cfg.Name. It fails with a client error (statusError 400)
+// on any invalid configuration, schema, or reference payload, and with 409
+// when the name is taken.
+func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
+	if err := validName(cfg.Name); err != nil {
+		return nil, err
+	}
+	s := &Session{name: cfg.Name, model: cfg.Model, max: r.maxReports}
+	var err error
+	switch cfg.Model {
+	case "lits":
+		err = bindLits(s, &cfg)
+	case "dt":
+		err = bindDT(s, &cfg)
+	case "cluster":
+		err = bindCluster(s, &cfg)
+	default:
+		return nil, badRequest(fmt.Sprintf("unknown model %q (want lits, dt or cluster)", cfg.Model))
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[cfg.Name]; ok {
+		return nil, &statusError{code: 409, msg: fmt.Sprintf("session %q already exists", cfg.Name)}
+	}
+	r.sessions[cfg.Name] = s
+	return s, nil
+}
+
+// validName admits names every per-session endpoint can address: URL-safe
+// characters only, starting with a letter or digit (which also excludes
+// the "." and ".." path segments ServeMux would clean away).
+func validName(name string) error {
+	if name == "" {
+		return badRequest("session name required")
+	}
+	if len(name) > 128 {
+		return badRequest("session name longer than 128 bytes")
+	}
+	for i, c := range name {
+		alnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		if i == 0 && !alnum {
+			return badRequest("session name must start with a letter or digit")
+		}
+		if !alnum && c != '.' && c != '_' && c != '-' {
+			return badRequest("session name may contain only letters, digits, '.', '_' and '-'")
+		}
+	}
+	return nil
+}
+
+// Get returns the named session.
+func (r *Registry) Get(name string) (*Session, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sessions[name]
+	return s, ok
+}
+
+// Delete removes the named session, reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.sessions[name]
+	delete(r.sessions, name)
+	return ok
+}
+
+// Names returns the registered session names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.sessions))
+	for name := range r.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// monitorConfig assembles the monitor configuration shared by every model
+// class. The window policy defaults to a sliding window of one batch:
+// every batch emits a report against the pinned reference.
+func monitorConfig(cfg *SessionConfig) (core.Config, error) {
+	f, g := cfg.F, cfg.G
+	if f == "" {
+		f = "fa"
+	}
+	if g == "" {
+		g = "sum"
+	}
+	df, err := core.DiffByName(f)
+	if err != nil {
+		return core.Config{}, badRequest(err.Error())
+	}
+	ag, err := core.AggByName(g)
+	if err != nil {
+		return core.Config{}, badRequest(err.Error())
+	}
+	window := cfg.Window
+	if window == 0 && cfg.EpochWindow == 0 {
+		window = 1
+	}
+	return core.Config{
+		F:              df,
+		G:              ag,
+		Parallelism:    cfg.Parallelism,
+		WindowBatches:  window,
+		Tumbling:       cfg.Tumbling,
+		EpochWindow:    cfg.EpochWindow,
+		PreviousWindow: cfg.PreviousWindow,
+		Threshold:      cfg.Threshold,
+		Qualify:        cfg.Qualify,
+		Replicates:     cfg.Replicates,
+		Seed:           cfg.Seed,
+	}, nil
+}
+
+// bindSession wires a monitor of any model class into the session's
+// dynamically-typed intake and state closures — the one generic-to-JSON
+// boundary of the serving layer.
+func bindSession[D, M any](s *Session, mc core.ModelClass[D, M], ref D, hasRef bool, mcfg core.Config, decode func(json.RawMessage) (D, error)) error {
+	if !hasRef && !mcfg.PreviousWindow {
+		return badRequest("reference rows required unless previous_window is set")
+	}
+	if hasRef && mc.Len(ref) == 0 {
+		return badRequest("reference rows must be non-empty")
+	}
+	mon, err := stream.New(mc, ref, mcfg)
+	if err != nil {
+		return badRequest(err.Error())
+	}
+	s.ingest = func(epoch *int64, rows json.RawMessage) (*stream.Report, error) {
+		batch, err := decode(rows)
+		if err != nil {
+			return nil, badRequest(err.Error())
+		}
+		// An empty batch would read as maximal drift (every region's window
+		// measure 0); a heartbeat or buggy producer gets a 400, not an
+		// alert.
+		if mc.Len(batch) == 0 {
+			return nil, badRequest("rows must hold at least one row")
+		}
+		if epoch != nil {
+			rep, err := mon.IngestEpoch(*epoch, batch)
+			if err != nil {
+				return nil, badRequest(err.Error())
+			}
+			return rep, nil
+		}
+		rep, err := mon.Ingest(batch)
+		if err != nil {
+			return nil, badRequest(err.Error())
+		}
+		return rep, nil
+	}
+	s.state = func() (int64, int, int, int) {
+		return mon.Epoch(), mon.WindowBatches(), mon.WindowN(), mon.Reports()
+	}
+	return nil
+}
+
+func bindLits(s *Session, cfg *SessionConfig) error {
+	if cfg.NumItems < 1 {
+		return badRequest("lits session requires num_items >= 1")
+	}
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return badRequest("lits session requires min_support in (0, 1]")
+	}
+	mcfg, err := monitorConfig(cfg)
+	if err != nil {
+		return err
+	}
+	// Capture only the universe size: closing over cfg would pin the whole
+	// create payload (including the raw Reference bytes) for the session's
+	// lifetime.
+	numItems := cfg.NumItems
+	decode := func(raw json.RawMessage) (*txn.Dataset, error) {
+		return decodeTxnRows(numItems, raw)
+	}
+	var ref *txn.Dataset
+	if len(cfg.Reference) > 0 {
+		if ref, err = decode(cfg.Reference); err != nil {
+			return badRequest(fmt.Sprintf("reference: %v", err))
+		}
+	}
+	return bindSession(s, core.Lits(cfg.MinSupport), ref, ref != nil, mcfg, decode)
+}
+
+func bindDT(s *Session, cfg *SessionConfig) error {
+	schema, err := cfg.Schema.Schema()
+	if err != nil {
+		return badRequest(err.Error())
+	}
+	if schema.Class < 0 {
+		return badRequest("dt session requires a class attribute in the schema")
+	}
+	mcfg, err := monitorConfig(cfg)
+	if err != nil {
+		return err
+	}
+	decode := tupleRowDecoder(schema)
+	if len(cfg.Reference) == 0 {
+		return badRequest("dt session requires reference rows (the pinned tree is grown from them)")
+	}
+	ref, err := decode(cfg.Reference)
+	if err != nil {
+		return badRequest(fmt.Sprintf("reference: %v", err))
+	}
+	tree, err := dtree.Build(ref, dtree.Config{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf})
+	if err != nil {
+		return badRequest(fmt.Sprintf("growing pinned tree: %v", err))
+	}
+	return bindSession(s, core.PinnedDT(tree), ref, true, mcfg, decode)
+}
+
+func bindCluster(s *Session, cfg *SessionConfig) error {
+	schema, err := cfg.Schema.Schema()
+	if err != nil {
+		return badRequest(err.Error())
+	}
+	if len(cfg.GridAttrs) == 0 {
+		return badRequest("cluster session requires grid_attrs")
+	}
+	attrs := make([]int, len(cfg.GridAttrs))
+	for i, name := range cfg.GridAttrs {
+		j := schema.AttrIndex(name)
+		if j < 0 {
+			return badRequest(fmt.Sprintf("unknown grid attribute %q", name))
+		}
+		attrs[i] = j
+	}
+	bins := cfg.GridBins
+	if bins == 0 {
+		bins = 8
+	}
+	grid, err := cluster.NewGrid(schema, attrs, bins)
+	if err != nil {
+		return badRequest(err.Error())
+	}
+	mcfg, err := monitorConfig(cfg)
+	if err != nil {
+		return err
+	}
+	decode := tupleRowDecoder(schema)
+	var ref *dataset.Dataset
+	if len(cfg.Reference) > 0 {
+		if ref, err = decode(cfg.Reference); err != nil {
+			return badRequest(fmt.Sprintf("reference: %v", err))
+		}
+	}
+	return bindSession(s, core.Cluster(grid, cfg.MinDensity), ref, ref != nil, mcfg, decode)
+}
+
+// Feed ingests one batch into the session and returns the emitted report
+// (nil when the window policy suppresses emission). Feeds are serialized
+// per session, so retained reports appear in emission order.
+func (s *Session) Feed(epoch *int64, rows json.RawMessage) (*ReportJSON, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.ingest(epoch, rows)
+	if err != nil {
+		return nil, err
+	}
+	rj := reportJSON(rep)
+	if rj != nil {
+		s.last = rj
+		if rj.Alert {
+			s.alerts++
+		}
+		s.reports = append(s.reports, *rj)
+		if len(s.reports) > s.max {
+			s.reports = s.reports[len(s.reports)-s.max:]
+		}
+	}
+	return rj, nil
+}
+
+// State snapshots the session.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch, batches, n, reports := s.state()
+	st := SessionState{
+		Name:          s.name,
+		Model:         s.model,
+		Epoch:         epoch,
+		WindowBatches: batches,
+		WindowN:       n,
+		Reports:       reports,
+		Alerts:        s.alerts,
+	}
+	if s.last != nil {
+		cp := *s.last
+		st.LastReport = &cp
+	}
+	return st
+}
+
+// Reports returns the retained recent reports (oldest first) and the total
+// alert count.
+func (s *Session) Reports() ([]ReportJSON, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ReportJSON, len(s.reports))
+	copy(out, s.reports)
+	return out, s.alerts
+}

@@ -1,0 +1,167 @@
+package source_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"focus/internal/source"
+)
+
+// rows is a minimal Sliceable batch type.
+type rows []int
+
+func (r rows) Len() int              { return len(r) }
+func (r rows) Slice(lo, hi int) rows { return r[lo:hi:hi] }
+func (r rows) Concat(o rows) (rows, error) {
+	out := make(rows, 0, len(r)+len(o))
+	out = append(out, r...)
+	return append(out, o...), nil
+}
+
+func seq(lo, hi int) rows {
+	out := make(rows, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// collect drains src, returning every batch.
+func collect(t *testing.T, src source.Source[rows]) []rows {
+	t.Helper()
+	var out []rows
+	for {
+		b, err := src.Next(context.Background())
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, b)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := source.Slice(seq(0, 3), seq(3, 5))
+	got := collect(t, src)
+	want := []rows{seq(0, 3), seq(3, 5)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// EOF is sticky.
+	if _, err := src.Next(context.Background()); err != io.EOF {
+		t.Fatalf("after EOF: %v, want io.EOF", err)
+	}
+}
+
+func TestSliceSourceContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := source.Slice(seq(0, 3))
+	if _, err := src.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Next: %v, want context.Canceled", err)
+	}
+}
+
+func TestChunkedRebatches(t *testing.T) {
+	cases := []struct {
+		name    string
+		batches []rows
+		size    int
+		want    []rows
+	}{
+		{"split and merge", []rows{seq(0, 3), seq(3, 10), seq(10, 11)}, 4,
+			[]rows{seq(0, 4), seq(4, 8), seq(8, 11)}},
+		{"exact multiple", []rows{seq(0, 4), seq(4, 8)}, 4,
+			[]rows{seq(0, 4), seq(4, 8)}},
+		{"one big batch", []rows{seq(0, 10)}, 3,
+			[]rows{seq(0, 3), seq(3, 6), seq(6, 9), seq(9, 10)}},
+		{"size larger than total", []rows{seq(0, 2), seq(2, 3)}, 100,
+			[]rows{seq(0, 3)}},
+		{"empty batches skipped", []rows{{}, seq(0, 2), {}, seq(2, 4), {}}, 3,
+			[]rows{seq(0, 3), seq(3, 4)}},
+		{"empty source", nil, 4, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := collect(t, source.Chunked(source.Slice(c.batches...), c.size))
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestChunkedInvalidSize(t *testing.T) {
+	src := source.Chunked(source.Slice(seq(0, 4)), 0)
+	if _, err := src.Next(context.Background()); err == nil {
+		t.Fatal("chunk size 0 accepted")
+	}
+}
+
+func TestChunkedErrorSticky(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	inner := source.Func[rows](func(ctx context.Context) (rows, error) {
+		calls++
+		if calls == 1 {
+			return seq(0, 3), nil
+		}
+		return nil, boom
+	})
+	src := source.Chunked(inner, 2)
+	b, err := src.Next(context.Background())
+	if err != nil || !reflect.DeepEqual(b, seq(0, 2)) {
+		t.Fatalf("first chunk: %v, %v", b, err)
+	}
+	// The second chunk needs more rows; the source fails, and the buffered
+	// row is discarded with it.
+	if _, err := src.Next(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("after source error: %v, want boom", err)
+	}
+	if _, err := src.Next(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("error not sticky: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("source called %d times after terminal error, want 2", calls)
+	}
+}
+
+// TestChunkedContextResume pins that a context cancellation is transient
+// for Chunked: a retry with a live context resumes with nothing lost.
+func TestChunkedContextResume(t *testing.T) {
+	src := source.Chunked(source.Slice(seq(0, 3), seq(3, 5)), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	first, err := src.Next(ctx)
+	if err != nil || !reflect.DeepEqual(first, seq(0, 2)) {
+		t.Fatalf("first chunk: %v, %v", first, err)
+	}
+	cancel()
+	if _, err := src.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Next: %v", err)
+	}
+	rest := collect(t, src) // fresh background context
+	if !reflect.DeepEqual(rest, []rows{seq(2, 4), seq(4, 5)}) {
+		t.Fatalf("after resume got %v", rest)
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := source.Func[rows](func(ctx context.Context) (rows, error) {
+		if n == 2 {
+			return nil, io.EOF
+		}
+		n++
+		return seq(n-1, n), nil
+	})
+	got := collect(t, src)
+	if !reflect.DeepEqual(got, []rows{seq(0, 1), seq(1, 2)}) {
+		t.Fatalf("got %v", got)
+	}
+}

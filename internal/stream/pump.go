@@ -1,0 +1,33 @@
+package stream
+
+import (
+	"context"
+	"io"
+
+	"focus/internal/source"
+)
+
+// Pump drains src into mon: every batch the source yields is ingested, in
+// order, until the source is exhausted (io.EOF), the context is cancelled,
+// or an error occurs. It returns the number of batches ingested. Reports
+// are observable through the monitor (Last, an alert callback installed
+// with core.WithAlert) as they are emitted.
+//
+// The monitor serializes intake, so any number of Pump goroutines — each
+// draining its own source — can feed one monitor concurrently.
+func Pump[D, M any](ctx context.Context, src source.Source[D], mon *Monitor[D, M]) (int, error) {
+	n := 0
+	for {
+		batch, err := src.Next(ctx)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if _, err := mon.Ingest(batch); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

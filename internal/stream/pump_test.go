@@ -1,0 +1,221 @@
+package stream_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"focus/internal/classgen"
+	"focus/internal/cluster"
+	"focus/internal/core"
+	"focus/internal/dataset"
+	"focus/internal/source"
+	"focus/internal/stream"
+)
+
+// clusterMonitor builds a cheap cluster monitor over the classgen schema.
+func clusterMonitor(t *testing.T, refN int, opts stream.Options) *stream.Monitor[*dataset.Dataset, *core.ClusterModel] {
+	t.Helper()
+	schema := classgen.Schema()
+	// 10 bins resolve the classgen distributions finely enough that window
+	// deviations are robustly nonzero.
+	grid, err := cluster.NewGrid(schema, []int{classgen.AttrSalary, classgen.AttrAge}, 10)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	ref, err := classgen.Generate(classgen.Config{NumTuples: refN, Function: classgen.F1, Seed: 301})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	mon, err := stream.New(core.Cluster(grid, 0.01), ref, opts)
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	return mon
+}
+
+func tupleBatches(t *testing.T, batches, size int) []*dataset.Dataset {
+	t.Helper()
+	out := make([]*dataset.Dataset, batches)
+	for i := range out {
+		d, err := classgen.Generate(classgen.Config{NumTuples: size, Function: classgen.F1, Seed: 400 + int64(i)})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// TestPumpEquivalence pins that pumping a source is the same monitoring
+// computation as ingesting the batches directly.
+func TestPumpEquivalence(t *testing.T) {
+	batches := tupleBatches(t, 6, 300)
+	opts := stream.Options{WindowBatches: 2}
+
+	direct := clusterMonitor(t, 900, opts)
+	var wantReports []stream.Report
+	for _, b := range batches {
+		rep, err := direct.Ingest(b)
+		if err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		if rep != nil {
+			wantReports = append(wantReports, *rep)
+		}
+	}
+
+	pumped := clusterMonitor(t, 900, opts)
+	n, err := stream.Pump(context.Background(), source.Slice(batches...), pumped)
+	if err != nil {
+		t.Fatalf("Pump: %v", err)
+	}
+	if n != len(batches) {
+		t.Fatalf("Pump ingested %d batches, want %d", n, len(batches))
+	}
+	if pumped.Reports() != direct.Reports() {
+		t.Fatalf("pumped %d reports, direct %d", pumped.Reports(), direct.Reports())
+	}
+	if !reflect.DeepEqual(pumped.Last(), direct.Last()) {
+		t.Fatalf("pumped last report %+v, direct %+v", pumped.Last(), direct.Last())
+	}
+	if len(wantReports) == 0 || pumped.Last().Deviation != wantReports[len(wantReports)-1].Deviation {
+		t.Fatal("report streams diverge")
+	}
+}
+
+// TestPumpChunkedEquivalence pins that re-batching through Chunked changes
+// batch boundaries but not the rows monitored: a chunked pump over one big
+// batch equals a direct ingest of the same chunks.
+func TestPumpChunkedEquivalence(t *testing.T) {
+	big, err := classgen.Generate(classgen.Config{NumTuples: 1000, Function: classgen.F2, Seed: 500})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	opts := stream.Options{WindowBatches: 3}
+
+	direct := clusterMonitor(t, 700, opts)
+	for lo := 0; lo < big.Len(); lo += 256 {
+		hi := min(lo+256, big.Len())
+		if _, err := direct.Ingest(big.Slice(lo, hi)); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+
+	pumped := clusterMonitor(t, 700, opts)
+	n, err := stream.Pump(context.Background(), source.Chunked(source.Slice[*dataset.Dataset](big), 256), pumped)
+	if err != nil {
+		t.Fatalf("Pump: %v", err)
+	}
+	if n != (big.Len()+255)/256 {
+		t.Fatalf("Pump ingested %d chunks", n)
+	}
+	if !reflect.DeepEqual(pumped.Last(), direct.Last()) {
+		t.Fatalf("chunked pump diverges: %+v vs %+v", pumped.Last(), direct.Last())
+	}
+}
+
+func TestPumpContextCancel(t *testing.T) {
+	mon := clusterMonitor(t, 400, stream.Options{WindowBatches: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := stream.Pump(ctx, source.Slice(tupleBatches(t, 2, 100)...), mon); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Pump under cancelled context: %v", err)
+	}
+}
+
+// TestConcurrentFeeders pins the monitor's concurrency guarantee under the
+// race detector: N producers feed one monitor (directly and through Pump)
+// while readers poll its accessors; intake is serialized, so every batch
+// lands, every ingest emits exactly one report (sliding window), and the
+// final window state is exact.
+func TestConcurrentFeeders(t *testing.T) {
+	const feeders = 8
+	const perFeeder = 12
+	const batchSize = 120
+	// alerts is deliberately unguarded: the monitor serializes emission, so
+	// the callback never runs concurrently — the race detector proves it.
+	alerts := 0
+	mon := clusterMonitor(t, 600, stream.Options{
+		WindowBatches: 3,
+		Threshold:     1e-12, // any nonzero deviation alerts
+		OnAlert:       func(core.Report) { alerts++ },
+	})
+
+	var producers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers poll the accessors until the producers finish.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mon.Last()
+				mon.WindowN()
+				mon.WindowBatches()
+				mon.Reports()
+				mon.Epoch()
+			}
+		}()
+	}
+	// Concurrent producers: half direct Ingest, half Pump over a source.
+	errc := make(chan error, feeders)
+	for i := 0; i < feeders; i++ {
+		batches := make([]*dataset.Dataset, perFeeder)
+		for j := range batches {
+			d, err := classgen.Generate(classgen.Config{NumTuples: batchSize, Function: classgen.F1, Seed: int64(1000 + i*perFeeder + j)})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			batches[j] = d
+		}
+		producers.Add(1)
+		go func(i int, batches []*dataset.Dataset) {
+			defer producers.Done()
+			if i%2 == 0 {
+				for _, b := range batches {
+					if _, err := mon.Ingest(b); err != nil {
+						errc <- err
+						return
+					}
+				}
+				return
+			}
+			if _, err := stream.Pump(context.Background(), source.Slice(batches...), mon); err != nil {
+				errc <- err
+			}
+		}(i, batches)
+	}
+	producers.Wait()
+	close(stop)
+	readers.Wait()
+
+	total := feeders * perFeeder
+	if got := mon.Reports(); got != total {
+		t.Fatalf("reports = %d, want %d (one per ingest under a sliding window)", got, total)
+	}
+	if got := mon.Epoch(); got != int64(total) {
+		t.Fatalf("epoch = %d, want %d", got, total)
+	}
+	if got := mon.WindowBatches(); got != 3 {
+		t.Fatalf("window batches = %d, want 3", got)
+	}
+	if got := mon.WindowN(); got != 3*batchSize {
+		t.Fatalf("window n = %d, want %d", got, 3*batchSize)
+	}
+	if alerts < 1 || alerts > total {
+		t.Fatalf("alert callback ran %d times, want within [1, %d]", alerts, total)
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("feeder error: %v", err)
+	default:
+	}
+}

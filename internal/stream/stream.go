@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 
 	"focus/internal/core"
 	"focus/internal/stats"
@@ -77,8 +78,16 @@ func withDefaults(o Options) (Options, error) {
 
 // Monitor is an incremental windowed deviation monitor over batch datasets
 // of D through models of M. Construct one with New (or the deprecated
-// per-class constructors). A Monitor is not safe for concurrent use.
+// per-class constructors).
+//
+// A Monitor is safe for concurrent use: intake is serialized by an internal
+// mutex, so any number of producers (Pump goroutines, focusd handlers) can
+// feed one monitor, each Ingest/IngestEpoch call observes a fully advanced
+// window, and reports are emitted — and any alert callback invoked — in
+// intake order. The alert callback runs synchronously inside that critical
+// section and must not call back into the monitor.
 type Monitor[D, M any] struct {
+	mu   sync.Mutex
 	opts Options
 	mc   core.ModelClass[D, M]
 
@@ -147,14 +156,25 @@ func isNilRef(v any) bool {
 // suppresses emission (a tumbling window that has not filled, or a
 // PreviousWindow monitor still waiting for its first reference window).
 // The monitor retains the batch; callers must not mutate it afterwards.
+// Ingest is safe for concurrent callers; concurrent batches enter the
+// window in lock-acquisition order.
 func (m *Monitor[D, M]) Ingest(batch D) (*Report, error) {
-	return m.IngestEpoch(m.epoch+1, batch)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ingest(m.epoch+1, batch)
 }
 
 // IngestEpoch is Ingest with an explicit epoch, which must not decrease
 // from one call to the next. Epochs drive expiry when Options.EpochWindow
 // is set and are otherwise only recorded in reports.
 func (m *Monitor[D, M]) IngestEpoch(epoch int64, batch D) (*Report, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ingest(epoch, batch)
+}
+
+// ingest is the intake path; callers hold m.mu.
+func (m *Monitor[D, M]) ingest(epoch int64, batch D) (*Report, error) {
 	if epoch < m.epoch {
 		return nil, fmt.Errorf("stream: epoch %d regresses below %d", epoch, m.epoch)
 	}
@@ -297,13 +317,23 @@ func (m *Monitor[D, M]) qualify(observed float64, seed int64) (*core.Qualificati
 }
 
 // Epoch returns the epoch of the most recent ingest.
-func (m *Monitor[D, M]) Epoch() int64 { return m.epoch }
+func (m *Monitor[D, M]) Epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
 
 // Reports returns the number of reports emitted so far.
-func (m *Monitor[D, M]) Reports() int { return m.seq }
+func (m *Monitor[D, M]) Reports() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
 
 // Last returns the most recent report, or nil before the first emission.
 func (m *Monitor[D, M]) Last() *Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.last == nil {
 		return nil
 	}
@@ -312,8 +342,16 @@ func (m *Monitor[D, M]) Last() *Report {
 }
 
 // WindowBatches returns the number of batches currently in the window.
-func (m *Monitor[D, M]) WindowBatches() int { return m.live.Batches() }
+func (m *Monitor[D, M]) WindowBatches() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live.Batches()
+}
 
 // WindowN returns the number of transactions/tuples currently in the
 // window.
-func (m *Monitor[D, M]) WindowN() int { return m.live.N() }
+func (m *Monitor[D, M]) WindowN() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live.N()
+}

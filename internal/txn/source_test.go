@@ -1,0 +1,128 @@
+package txn_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"focus/internal/txn"
+)
+
+func randTxnDataset(n, numItems int, seed int64) *txn.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := txn.New(numItems)
+	for i := 0; i < n; i++ {
+		t := make(txn.Transaction, 0, 4)
+		for len(t) < 1+rng.Intn(4) {
+			t = append(t, txn.Item(rng.Intn(numItems)))
+		}
+		d.Txns = append(d.Txns, t.Normalize())
+	}
+	return d
+}
+
+// TestTxnSourceEquivalence pins the acceptance criterion: Read is
+// byte-identical to draining the Source, across a dataset large enough to
+// span multiple source batches.
+func TestTxnSourceEquivalence(t *testing.T) {
+	want := randTxnDataset(txn.SourceBatchRows+500, 40, 7)
+	var buf bytes.Buffer
+	if err := want.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	raw := buf.Bytes()
+
+	read, err := txn.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(read, want) {
+		t.Fatal("Read diverges from the written dataset")
+	}
+
+	src := txn.NewSource(bytes.NewReader(raw))
+	if got := src.NumItems(); got != -1 {
+		t.Fatalf("NumItems before first Next = %d, want -1", got)
+	}
+	drained := txn.New(0)
+	batches := 0
+	for {
+		b, err := src.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		drained.NumItems = b.NumItems
+		drained.Txns = append(drained.Txns, b.Txns...)
+		batches++
+	}
+	if batches < 2 {
+		t.Fatalf("drained %d batches, want >= 2", batches)
+	}
+	if src.NumItems() != want.NumItems {
+		t.Fatalf("NumItems = %d, want %d", src.NumItems(), want.NumItems)
+	}
+	if !reflect.DeepEqual(drained, want) {
+		t.Fatal("draining Source diverges from Read")
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// TestTxnReadBoundedMemory mirrors the CSV bounded-memory pin: a malformed
+// line at offset k errors after ~k lines with its line number preserved.
+func TestTxnReadBoundedMemory(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("50\n")
+	// Large enough that the scanner's fixed 64 KiB read-ahead buffer is
+	// well under the 10% bound asserted below.
+	const linesTotal = 200000
+	const badLine = 120 // 1-based file line of the malformed record
+	for i := 2; i <= linesTotal; i++ {
+		if i == badLine {
+			sb.WriteString("999\n") // outside universe [0,50)
+			continue
+		}
+		fmt.Fprintf(&sb, "%d %d\n", i%25, 25+i%25)
+	}
+	input := sb.String()
+	cr := &countingReader{r: strings.NewReader(input)}
+	_, err := txn.Read(cr)
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("line %d", badLine)) {
+		t.Fatalf("error %q does not carry line %d", err, badLine)
+	}
+	if limit := int64(len(input)) / 10; cr.n > limit {
+		t.Fatalf("decoder consumed %d of %d bytes before failing at line %d; want <= %d",
+			cr.n, len(input), badLine, limit)
+	}
+}
+
+func TestTxnSourceEmptyInput(t *testing.T) {
+	if _, err := txn.Read(strings.NewReader("")); err == nil || !strings.Contains(err.Error(), "empty input") {
+		t.Fatalf("empty input: %v", err)
+	}
+	// A bare header yields an empty dataset over the right universe.
+	d, err := txn.Read(strings.NewReader("7\n"))
+	if err != nil || d.NumItems != 7 || d.Len() != 0 {
+		t.Fatalf("bare header: %v %v", d, err)
+	}
+}

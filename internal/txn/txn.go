@@ -9,6 +9,7 @@ package txn
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -250,55 +251,27 @@ func (d *Dataset) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read reads a dataset in the format produced by Write.
+// Read reads a dataset in the format produced by Write by draining a
+// Source, so decoding is incremental: a malformed line fails after ~that
+// many lines in bounded memory, and a successful read always yields a
+// dataset that satisfies Validate.
 func Read(r io.Reader) (*Dataset, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
+	src := NewSource(r)
+	var d *Dataset
+	for {
+		batch, err := src.Next(context.Background())
+		if err == io.EOF {
+			if d == nil {
+				d = New(src.numItems)
+			}
+			return d, nil
+		}
+		if err != nil {
 			return nil, err
 		}
-		return nil, errors.New("txn: empty input")
-	}
-	numItems, err := strconv.Atoi(sc.Text())
-	if err != nil {
-		return nil, fmt.Errorf("txn: parsing universe size: %w", err)
-	}
-	if numItems < 0 {
-		// A negative universe would slip through Validate on an empty
-		// dataset and panic later in counter allocations.
-		return nil, fmt.Errorf("txn: negative universe size %d", numItems)
-	}
-	d := New(numItems)
-	for line := 2; sc.Scan(); line++ {
-		text := sc.Text()
-		if text == "" {
-			d.Txns = append(d.Txns, Transaction{})
-			continue
+		if d == nil {
+			d = New(batch.NumItems)
 		}
-		var t Transaction
-		start := 0
-		for i := 0; i <= len(text); i++ {
-			if i == len(text) || text[i] == ' ' {
-				if i > start {
-					v, err := strconv.Atoi(text[start:i])
-					if err != nil {
-						return nil, fmt.Errorf("txn: line %d: %w", line, err)
-					}
-					// Range-check before the Item conversion: a value past
-					// int32 would otherwise wrap silently into the universe.
-					if v < 0 || v >= numItems {
-						return nil, fmt.Errorf("txn: line %d: item %d outside universe [0,%d)", line, v, numItems)
-					}
-					t = append(t, Item(v))
-				}
-				start = i + 1
-			}
-		}
-		d.Txns = append(d.Txns, t.Normalize())
+		d.Txns = append(d.Txns, batch.Txns...)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return d, d.Validate()
 }

@@ -1,0 +1,118 @@
+package focus_test
+
+// BenchmarkPump compares the two ingestion paths of the streaming API over
+// the same CSV bytes and the same monitoring computation: "source" decodes
+// incrementally (CSVSource → Chunked → Pump, bounded memory), "readcsv"
+// slurps the whole file with ReadCSV and then ingests slices. The per-op
+// memory columns are the point: the source path's footprint is bounded by
+// the chunk size, the whole-file path's by the input size.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"focus"
+	"focus/internal/classgen"
+)
+
+// pumpBenchData renders a classgen dataset to CSV once per scale.
+func pumpBenchData(b *testing.B, tuples int) ([]byte, *focus.Schema) {
+	b.Helper()
+	d, err := classgen.Generate(classgen.Config{NumTuples: tuples, Function: classgen.F1, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes(), classgen.Schema()
+}
+
+func pumpBenchMonitor(b *testing.B, schema *focus.Schema) *focus.Monitor[*focus.Dataset, *focus.ClusterModel] {
+	b.Helper()
+	grid, err := focus.NewGrid(schema, []int{classgen.AttrSalary, classgen.AttrAge}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := classgen.Generate(classgen.Config{NumTuples: 2000, Function: classgen.F1, Seed: 78})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := focus.NewMonitor(focus.Cluster(grid, 0.01), ref, focus.WithWindow(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mon
+}
+
+func BenchmarkPump(b *testing.B) {
+	const tuples = 20000
+	const batchRows = 1000
+	raw, schema := pumpBenchData(b, tuples)
+
+	b.Run("source", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mon := pumpBenchMonitor(b, schema)
+			src := focus.Chunked(focus.CSVSource(bytes.NewReader(raw), schema), batchRows)
+			n, err := focus.Pump(context.Background(), src, mon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != tuples/batchRows {
+				b.Fatalf("pumped %d batches", n)
+			}
+		}
+	})
+	b.Run("readcsv", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mon := pumpBenchMonitor(b, schema)
+			d, err := focus.ReadCSV(bytes.NewReader(raw), schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for lo := 0; lo < d.Len(); lo += batchRows {
+				hi := min(lo+batchRows, d.Len())
+				if _, err := mon.Ingest(focus.FromTuples(schema, d.Tuples[lo:hi])); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("decode-only-source", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := focus.CSVSource(bytes.NewReader(raw), schema)
+			rows := 0
+			for {
+				batch, err := src.Next(context.Background())
+				if err != nil {
+					break
+				}
+				rows += batch.Len()
+			}
+			if rows != tuples {
+				b.Fatalf("decoded %d rows", rows)
+			}
+		}
+	})
+	b.Run("decode-only-readcsv", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := focus.ReadCSV(bytes.NewReader(raw), schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d.Len() != tuples {
+				b.Fatalf("decoded %d rows", d.Len())
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package focus_test
+
+// Public-surface equivalence suite for the streaming data-entry redesign:
+// ReadCSV / ReadTxns must be byte-identical to draining the corresponding
+// Source, with or without re-batching through Chunked — the acceptance
+// criterion that lets the whole-file readers remain thin wrappers.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"reflect"
+	"testing"
+
+	"focus"
+	"focus/internal/classgen"
+	"focus/internal/quest"
+)
+
+func drainTuples(t *testing.T, src focus.Source[*focus.Dataset], s *focus.Schema) *focus.Dataset {
+	t.Helper()
+	out := focus.FromTuples(s, nil)
+	for {
+		b, err := src.Next(context.Background())
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out.Tuples = append(out.Tuples, b.Tuples...)
+	}
+}
+
+func TestReadCSVSourceEquivalence(t *testing.T) {
+	schema := classgen.Schema()
+	d, err := classgen.Generate(classgen.Config{NumTuples: 7000, Function: classgen.F2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	whole, err := focus.ReadCSV(bytes.NewReader(raw), schema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	drained := drainTuples(t, focus.CSVSource(bytes.NewReader(raw), schema), schema)
+	chunked := drainTuples(t, focus.Chunked(focus.CSVSource(bytes.NewReader(raw), schema), 333), schema)
+	if !reflect.DeepEqual(whole.Tuples, d.Tuples) {
+		t.Fatal("ReadCSV diverges from the written dataset")
+	}
+	if !reflect.DeepEqual(drained.Tuples, whole.Tuples) {
+		t.Fatal("drained CSVSource diverges from ReadCSV")
+	}
+	if !reflect.DeepEqual(chunked.Tuples, whole.Tuples) {
+		t.Fatal("Chunked(CSVSource) diverges from ReadCSV")
+	}
+}
+
+func TestReadTxnsSourceEquivalence(t *testing.T) {
+	d, err := quest.Generate(quest.Config{NumTxns: 6000, NumItems: 120, AvgTxnLen: 8, NumPatterns: 40, AvgPatternLen: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	whole, err := focus.ReadTxns(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadTxns: %v", err)
+	}
+	if !reflect.DeepEqual(whole, d) {
+		t.Fatal("ReadTxns diverges from the written dataset")
+	}
+
+	src := focus.Chunked(focus.TxnSource(bytes.NewReader(raw)), 1000)
+	drained := focus.FromTransactions(whole.NumItems, nil)
+	batches := 0
+	for {
+		b, err := src.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if b.NumItems != whole.NumItems {
+			t.Fatalf("batch universe %d, want %d", b.NumItems, whole.NumItems)
+		}
+		if b.Len() > 1000 {
+			t.Fatalf("chunked batch holds %d rows", b.Len())
+		}
+		drained.Txns = append(drained.Txns, b.Txns...)
+		batches++
+	}
+	if batches != 6 {
+		t.Fatalf("drained %d chunks, want 6", batches)
+	}
+	if !reflect.DeepEqual(drained.Txns, whole.Txns) {
+		t.Fatal("Chunked(TxnSource) diverges from ReadTxns")
+	}
+}
+
+// TestJSONLCSVAgreement pins that the two tuple wire formats decode to the
+// same dataset.
+func TestJSONLCSVAgreement(t *testing.T) {
+	schema := classgen.Schema()
+	d, err := classgen.Generate(classgen.Config{NumTuples: 1200, Function: classgen.F1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf, jsonlBuf bytes.Buffer
+	if err := d.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteJSONL(&jsonlBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := focus.ReadCSV(&csvBuf, schema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	fromJSONL, err := focus.ReadJSONL(&jsonlBuf, schema)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(fromCSV.Tuples, fromJSONL.Tuples) {
+		t.Fatal("CSV and JSONL decodes disagree")
+	}
+}
