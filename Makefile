@@ -32,11 +32,13 @@ apicheck:
 
 # bench runs every benchmark once with memory stats and distills the
 # machine-readable trajectory BENCH_focus.json (package-qualified name ->
-# ns/op, B/op, allocs/op). The CI smoke job uploads the file as an
-# artifact, so each PR carries its benchmark snapshot.
+# ns/op, B/op, allocs/op). The CI bench-delta step uploads the file as an
+# artifact, so each PR carries its benchmark snapshot; -require fails the
+# run if the counting-backend pair ever drops out of the trajectory.
+BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap
 bench:
 	go test -run XXX -bench . -benchmem -benchtime 1x ./... | tee bench.out
-	go run ./cmd/benchjson < bench.out > BENCH_focus.json
+	go run ./cmd/benchjson -require $(BENCH_REQUIRE) < bench.out > BENCH_focus.json
 	@rm -f bench.out
 	@echo "wrote BENCH_focus.json"
 

@@ -47,6 +47,7 @@ func printFirst(b *testing.B, render func()) {
 }
 
 func BenchmarkTable1LitsSignificance(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table1(sc, 1)
@@ -58,6 +59,7 @@ func BenchmarkTable1LitsSignificance(b *testing.B) {
 }
 
 func BenchmarkTable2DTSignificance(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table2(sc, 2)
@@ -69,6 +71,7 @@ func BenchmarkTable2DTSignificance(b *testing.B) {
 }
 
 func benchLitsCurves(b *testing.B, sizeIdx int) {
+	b.ReportAllocs()
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.LitsSDCurves(sc, sizeIdx, 3)
@@ -84,6 +87,7 @@ func BenchmarkFig8LitsSDvsSF(b *testing.B) { benchLitsCurves(b, 1) }
 func BenchmarkFig9LitsSDvsSF(b *testing.B) { benchLitsCurves(b, 2) }
 
 func benchDTCurves(b *testing.B, sizeIdx int) {
+	b.ReportAllocs()
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.DTSDCurves(sc, sizeIdx, 4)
@@ -99,6 +103,7 @@ func BenchmarkFig11DTSDvsSF(b *testing.B) { benchDTCurves(b, 1) }
 func BenchmarkFig12DTSDvsSF(b *testing.B) { benchDTCurves(b, 2) }
 
 func BenchmarkFig13LitsDeviationTable(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig13(sc, 5)
@@ -110,6 +115,7 @@ func BenchmarkFig13LitsDeviationTable(b *testing.B) {
 }
 
 func BenchmarkFig14DTDeviationTable(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig14(sc, 6)
@@ -121,6 +127,7 @@ func BenchmarkFig14DTDeviationTable(b *testing.B) {
 }
 
 func BenchmarkFig15MEvsDeviation(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig15(sc, 7)
@@ -154,12 +161,15 @@ func ablationTxnData(b *testing.B, n int) (*txn.Dataset, *txn.Dataset) {
 
 // Trie-based subset counting vs the brute-force scan (Apriori measure
 // computation; the single-scan GCR extension of Section 3.3.1 rides on it).
+// Forced to the trie backend so the ablation keeps measuring the trie now
+// that the default counter dispatches by density.
 func BenchmarkAblationCountingTrie(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := ablationTxnData(b, 5000)
 	sets := randomItemsets(200, 500, 11)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		apriori.CountItemsets(d, sets)
+		apriori.CountItemsetsTrie(d, sets, 1)
 	}
 }
 
@@ -167,15 +177,72 @@ func BenchmarkAblationCountingTrie(b *testing.B) {
 // vectors merged in shard order (bit-identical results; the speedup is the
 // point). Compare against BenchmarkAblationCountingTrie.
 func BenchmarkParallelCountingTrie(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := ablationTxnData(b, 5000)
 	sets := randomItemsets(200, 500, 11)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		apriori.CountItemsetsP(d, sets, 0)
+		apriori.CountItemsetsTrie(d, sets, 0)
+	}
+}
+
+// ---- counting-backend benchmarks (trie vs vertical bitmap) ----
+
+// countBenchData is the quick-scale dense workload of the backend pair:
+// short universe, long transactions, a realistic GCR-sized candidate
+// collection. Dense data is the trie's worst case (deep descents on every
+// transaction) and the bitmap's best (high popcount yield per word) — the
+// regime auto selects the bitmap for.
+func countBenchData(b *testing.B) (*txn.Dataset, []apriori.Itemset) {
+	b.Helper()
+	cfg := quest.DefaultConfig(4000)
+	cfg.NumItems = 250
+	cfg.NumPatterns = 300
+	cfg.AvgTxnLen = 25
+	cfg.Seed = 21
+	d, err := quest.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, randomItemsets(400, 250, 22)
+}
+
+// BenchmarkCountTrie / BenchmarkCountBitmap are the headline pair of the
+// vertical-index PR: identical workload, identical (bit-for-bit) counts,
+// different backend. Both run serially so the comparison isolates the
+// algorithm, not the worker pool.
+func BenchmarkCountTrie(b *testing.B) {
+	b.ReportAllocs()
+	d, sets := countBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apriori.CountItemsetsTrie(d, sets, 1)
+	}
+}
+
+func BenchmarkCountBitmap(b *testing.B) {
+	b.ReportAllocs()
+	d, sets := countBenchData(b)
+	apriori.VerticalIndexOf(d, 0) // build outside the timer; memoized thereafter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apriori.CountItemsetsBitmap(d, sets, 1)
+	}
+}
+
+// BenchmarkCountBitmapBuild prices the one-time index construction the
+// memo amortizes across scans.
+func BenchmarkCountBitmapBuild(b *testing.B) {
+	b.ReportAllocs()
+	d, _ := countBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apriori.BuildVerticalIndex(d, 0)
 	}
 }
 
 func BenchmarkAblationCountingBrute(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := ablationTxnData(b, 5000)
 	sets := randomItemsets(200, 500, 11)
 	b.ResetTimer()
@@ -202,6 +269,7 @@ func randomItemsets(count, universe int, seed int64) []apriori.Itemset {
 // bound is the paper's answer for interactive exploration (Figure 13's last
 // two columns).
 func BenchmarkAblationLitsDeviationScan(b *testing.B) {
+	b.ReportAllocs()
 	d1, d2 := ablationTxnData(b, 10000)
 	m1, err := core.MineLits(d1, 0.01)
 	if err != nil {
@@ -223,6 +291,7 @@ func BenchmarkAblationLitsDeviationScan(b *testing.B) {
 // lits workload; bit-identical deviations). Compare against
 // BenchmarkAblationLitsDeviationScan.
 func BenchmarkParallelLitsDeviationScan(b *testing.B) {
+	b.ReportAllocs()
 	d1, d2 := ablationTxnData(b, 10000)
 	m1, err := core.MineLits(d1, 0.01)
 	if err != nil {
@@ -241,6 +310,7 @@ func BenchmarkParallelLitsDeviationScan(b *testing.B) {
 }
 
 func BenchmarkAblationLitsUpperBoundNoScan(b *testing.B) {
+	b.ReportAllocs()
 	d1, d2 := ablationTxnData(b, 10000)
 	m1, err := core.MineLits(d1, 0.01)
 	if err != nil {
@@ -281,6 +351,7 @@ func ablationDTData(b *testing.B) (*focus.Dataset, *focus.Dataset, *core.DTModel
 }
 
 func BenchmarkAblationDTDeviationRouted(b *testing.B) {
+	b.ReportAllocs()
 	d1, d2, m1, m2 := ablationDTData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -294,6 +365,7 @@ func BenchmarkAblationDTDeviationRouted(b *testing.B) {
 // workload; bit-identical deviations). Compare against
 // BenchmarkAblationDTDeviationRouted.
 func BenchmarkParallelDTDeviationRouted(b *testing.B) {
+	b.ReportAllocs()
 	d1, d2, m1, m2 := ablationDTData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -304,6 +376,7 @@ func BenchmarkParallelDTDeviationRouted(b *testing.B) {
 }
 
 func BenchmarkAblationDTDeviationGeometric(b *testing.B) {
+	b.ReportAllocs()
 	d1, d2, m1, m2 := ablationDTData(b)
 	gcr, err := core.DTGCRRegions(m1, m2)
 	if err != nil {
@@ -321,6 +394,7 @@ func BenchmarkAblationDTDeviationGeometric(b *testing.B) {
 
 // Apriori mining itself, the substrate cost every lits experiment pays.
 func BenchmarkAprioriMine(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := ablationTxnData(b, 10000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -333,6 +407,7 @@ func BenchmarkAprioriMine(b *testing.B) {
 // Sharded per-pass candidate counting vs the serial miner above
 // (bit-identical frequent sets). Compare against BenchmarkAprioriMine.
 func BenchmarkParallelAprioriMine(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := ablationTxnData(b, 10000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -344,6 +419,7 @@ func BenchmarkParallelAprioriMine(b *testing.B) {
 
 // CART tree construction, the substrate cost every dt experiment pays.
 func BenchmarkDTreeBuild(b *testing.B) {
+	b.ReportAllocs()
 	d, err := classgen.Generate(classgen.Config{NumTuples: 10000, Function: classgen.F2, Seed: 14})
 	if err != nil {
 		b.Fatal(err)
@@ -359,6 +435,7 @@ func BenchmarkDTreeBuild(b *testing.B) {
 // The bootstrap qualification step (Section 3.4), the cost of turning a
 // deviation into a significance.
 func BenchmarkQualifyLits(b *testing.B) {
+	b.ReportAllocs()
 	d1, d2 := ablationTxnData(b, 4000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -374,6 +451,7 @@ var sinkFloat float64
 // Baseline: raw deviation arithmetic over a prepared GCR (Definition 3.5),
 // isolating the framework overhead from mining/scanning.
 func BenchmarkDeviation1Arithmetic(b *testing.B) {
+	b.ReportAllocs()
 	regions := make([]core.MeasuredRegion, 10000)
 	rng := rand.New(rand.NewSource(16))
 	for i := range regions {

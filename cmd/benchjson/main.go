@@ -6,11 +6,18 @@
 // download away.
 //
 //	go test -run XXX -bench . -benchmem ./... | benchjson > BENCH_focus.json
+//
+// The -require flag takes a comma-separated list of benchmark names; if any
+// of them is missing from the parsed results, benchjson fails after writing
+// the JSON. CI's bench-delta step uses it to pin the benchmarks a PR
+// promises (e.g. the counting-backend pair), so a renamed or deleted
+// benchmark fails loudly instead of silently vanishing from the trajectory.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -28,13 +35,26 @@ type result struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	require := flag.String("require", "", "comma-separated benchmark names that must be present")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, splitRequire(*require)); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(r io.Reader, w io.Writer) error {
+// splitRequire parses the -require list, dropping empty entries.
+func splitRequire(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func run(r io.Reader, w io.Writer, require []string) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	results := make(map[string]result)
@@ -114,5 +134,33 @@ func run(r io.Reader, w io.Writer) error {
 		fmt.Fprintf(bw, "  %s: %s%s\n", key, rec, comma)
 	}
 	fmt.Fprintln(bw, "}")
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// A required name matches a result key exactly or as its benchmark-name
+	// component (keys are "pkg.BenchmarkName-GOMAXPROCS").
+	var missing []string
+	for _, want := range require {
+		found := false
+		for name := range results {
+			base := name
+			if i := strings.LastIndex(base, "."); i >= 0 {
+				base = base[i+1:]
+			}
+			if i := strings.LastIndex(base, "-"); i >= 0 {
+				base = base[:i]
+			}
+			if name == want || base == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required benchmarks missing from input: %s", strings.Join(missing, ", "))
+	}
+	return nil
 }

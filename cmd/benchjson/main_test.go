@@ -19,7 +19,7 @@ PASS
 ok  	focus	1.2s
 `
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out); err != nil {
+	if err := run(strings.NewReader(input), &out, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var got map[string]struct {
@@ -59,7 +59,7 @@ BenchmarkX/rows-1000      	      10	    111 ns/op
 BenchmarkX/rows-20000     	      10	    222 ns/op
 `
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out); err != nil {
+	if err := run(strings.NewReader(input), &out, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var got map[string]map[string]any
@@ -73,7 +73,44 @@ BenchmarkX/rows-20000     	      10	    222 ns/op
 
 func TestBenchJSONEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+	if err := run(strings.NewReader("PASS\n"), &out, nil); err == nil {
 		t.Fatal("no benchmarks accepted silently")
+	}
+}
+
+// TestBenchJSONRequire pins the bench-delta contract: required benchmarks
+// match by bare name or full key, and a missing one fails the run.
+func TestBenchJSONRequire(t *testing.T) {
+	input := `pkg: focus
+BenchmarkCountTrie-8     	      10	    111 ns/op
+BenchmarkCountBitmap-8   	      10	     22 ns/op
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out, []string{"BenchmarkCountTrie", "BenchmarkCountBitmap"}); err != nil {
+		t.Fatalf("required benchmarks present, but run failed: %v", err)
+	}
+	out.Reset()
+	if err := run(strings.NewReader(input), &out, []string{"focus.BenchmarkCountTrie-8"}); err != nil {
+		t.Fatalf("full-key requirement failed: %v", err)
+	}
+	out.Reset()
+	err := run(strings.NewReader(input), &out, []string{"BenchmarkCountTrie", "BenchmarkGone"})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Fatalf("missing requirement not reported: %v", err)
+	}
+	// The JSON is still written before the failure, so the artifact upload
+	// has something to show even on a failed delta.
+	if !strings.Contains(out.String(), "BenchmarkCountTrie") {
+		t.Fatal("JSON not written before the requirement failure")
+	}
+}
+
+func TestSplitRequire(t *testing.T) {
+	got := splitRequire(" a, ,b,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitRequire = %v", got)
+	}
+	if splitRequire("") != nil {
+		t.Fatal("splitRequire(\"\") must be nil")
 	}
 }

@@ -79,6 +79,14 @@
 // -parallelism flag), 1 forces the exact serial path, n >= 2 uses n
 // workers.
 //
+// Lits-model support counting additionally has two interchangeable
+// backends: the prefix-trie subset scan and a vertical TID-bitmap index
+// (per-item transaction bitsets intersected with popcount-fused ANDs,
+// memoized per dataset). Counts are bit-identical either way; the Counter
+// knob (WithCounter, LitsWithCounter, SetCounter, the CLIs' -counter flag)
+// selects a backend, with "auto" choosing per scan by dataset density and
+// candidate volume.
+//
 // The monitoring regime runs continuously through NewMonitor: batches enter
 // a sliding or tumbling window whose model is maintained incrementally from
 // mergeable per-batch count summaries, and every window advance emits the
@@ -120,6 +128,34 @@ import (
 // Deviations are bit-identical for every setting; the knob trades wall-clock
 // speed against CPU use.
 func SetParallelism(n int) { parallel.SetDefault(n) }
+
+// Counter selects the itemset-support counting backend of lits-model scans:
+// the prefix-trie subset scan over transactions, or the vertical TID-bitmap
+// index intersecting per-item transaction bitsets with popcount-fused ANDs.
+// Counts — and therefore models, deviations, significances and monitor
+// reports — are bit-identical for every backend; the knob trades index
+// construction against scan speed.
+type Counter = apriori.Counter
+
+const (
+	// CounterAuto picks trie or bitmap per scan from the dataset density
+	// and the candidate itemset volume (the built-in default).
+	CounterAuto Counter = apriori.CounterAuto
+	// CounterTrie forces the prefix-trie subset scan.
+	CounterTrie Counter = apriori.CounterTrie
+	// CounterBitmap forces the vertical TID-bitmap backend.
+	CounterBitmap Counter = apriori.CounterBitmap
+)
+
+// ParseCounter validates a counting-backend name ("auto", "trie" or
+// "bitmap"; "" selects the process default).
+func ParseCounter(name string) (Counter, error) { return apriori.ParseCounter(name) }
+
+// SetCounter fixes the backend selected by an unset Counter knob anywhere
+// in the pipeline — the counting analogue of SetParallelism, intended for
+// process setup (the CLIs' -counter flag). Passing "" restores the built-in
+// default, CounterAuto.
+func SetCounter(c Counter) { apriori.SetDefaultCounter(c) }
 
 // Difference and aggregate functions (Definition 3.7).
 type (
@@ -228,8 +264,17 @@ type (
 )
 
 // Lits returns the lits-model class: frequent itemsets mined by Apriori at
-// the given minimum support (Section 2.2).
+// the given minimum support (Section 2.2), counting through the
+// process-default backend.
 func Lits(minSupport float64) ModelClass[*TxnDataset, *LitsModel] { return core.Lits(minSupport) }
+
+// LitsWithCounter is Lits with an explicit itemset-counting backend, used
+// for every scan the class performs — mining, GCR measurement, and the
+// per-batch counts of streaming monitor windows. Models and reports are
+// bit-identical for every Counter.
+func LitsWithCounter(minSupport float64, c Counter) ModelClass[*TxnDataset, *LitsModel] {
+	return core.LitsWithCounter(minSupport, c)
+}
 
 // DT returns the dt-model class: decision trees grown with cfg, compared
 // over the overlay of their leaf partitions (Section 2.1, Definition 4.2).
@@ -253,6 +298,11 @@ func Cluster(g *Grid, minDensity float64) ModelClass[*Dataset, *ClusterModel] {
 // exact serial path, n >= 2 = n workers); results are bit-identical for
 // every setting.
 func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithCounter selects the lits counting backend for the pipeline's dataset
+// scans; results are bit-identical for every backend. Monitors take their
+// backend from the model class instead (LitsWithCounter).
+func WithCounter(c Counter) Option { return core.WithCounter(c) }
 
 // WithFocus restricts the deviation to a box region (Definition 5.2).
 // Honoured by classes with box regions (DT); ignored elsewhere.

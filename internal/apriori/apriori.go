@@ -178,29 +178,69 @@ type Source interface {
 	Count(sets []Itemset) []int
 }
 
-// datasetSource adapts a *txn.Dataset (with a parallelism knob) to Source.
+// NewSource adapts a *txn.Dataset to a Source with explicit parallelism
+// and counting-backend knobs — the seam through which Mine/MineFrom, the
+// generic lits model class and the streaming window summaries select the
+// trie or bitmap backend. Both backends return bit-identical counts, so the
+// mined frequent sets are independent of the knobs.
+func NewSource(d *txn.Dataset, parallelism int, counter Counter) Source {
+	MustCounter(counter)
+	return &datasetSource{d: d, parallelism: parallelism, counter: counter}
+}
+
+// datasetSource adapts a *txn.Dataset (with parallelism and counter knobs)
+// to Source. It caches its pass-1 vector so that, when a later candidate
+// pass resolves to the bitmap backend, the index build reuses it instead
+// of rescanning the transactions.
 type datasetSource struct {
 	d           *txn.Dataset
 	parallelism int
+	counter     Counter
+	pass1       []int
 }
 
-func (s datasetSource) NumTxns() int  { return s.d.Len() }
-func (s datasetSource) NumItems() int { return s.d.NumItems }
+func (s *datasetSource) NumTxns() int  { return s.d.Len() }
+func (s *datasetSource) NumItems() int { return s.d.NumItems }
 
-func (s datasetSource) ItemCounts() []int {
-	itemCounts := make([]int, s.d.NumItems)
-	if parallel.Workers(s.parallelism) == 1 {
-		for _, t := range s.d.Txns {
+func (s *datasetSource) ItemCounts() []int {
+	if s.pass1 != nil {
+		return s.pass1
+	}
+	// An explicit bitmap backend serves pass 1 from the vertical index,
+	// which primes the memoized index the candidate passes will reuse; an
+	// already-memoized index serves pass 1 for free on any backend that
+	// would build (or has built) it anyway.
+	c := s.counter
+	if c == CounterDefault {
+		c = DefaultCounter()
+	}
+	if c == CounterBitmap || (c == CounterAuto && s.d.HasMemo()) {
+		s.pass1 = VerticalIndexOf(s.d, s.parallelism).ItemCounts()
+	} else {
+		s.pass1 = horizontalItemCounts(s.d, s.parallelism)
+	}
+	return s.pass1
+}
+
+// horizontalItemCounts is the raw pass-1 scan — per-item occurrence counts
+// by walking the transactions — shared by the trie-backed Source and the
+// vertical-index build (which cannot route through the memoized index it
+// is itself constructing). Per-shard integer vectors merge in shard order,
+// so the counts are identical for every worker count.
+func horizontalItemCounts(d *txn.Dataset, parallelism int) []int {
+	itemCounts := make([]int, d.NumItems)
+	if parallel.Workers(parallelism) == 1 {
+		for _, t := range d.Txns {
 			for _, it := range t {
 				itemCounts[it]++
 			}
 		}
 		return itemCounts
 	}
-	parallel.MapReduce(len(s.d.Txns), s.parallelism,
-		func() []int { return make([]int, s.d.NumItems) },
+	parallel.MapReduce(len(d.Txns), parallelism,
+		func() []int { return make([]int, d.NumItems) },
 		func(acc []int, c parallel.Chunk) {
-			for _, t := range s.d.Txns[c.Lo:c.Hi] {
+			for _, t := range d.Txns[c.Lo:c.Hi] {
 				for _, it := range t {
 					acc[it]++
 				}
@@ -214,8 +254,14 @@ func (s datasetSource) ItemCounts() []int {
 	return itemCounts
 }
 
-func (s datasetSource) Count(sets []Itemset) []int {
-	return CountItemsetsP(s.d, sets, s.parallelism)
+func (s *datasetSource) Count(sets []Itemset) []int {
+	if len(sets) == 0 || s.d.Len() == 0 {
+		return make([]int, len(sets))
+	}
+	if resolveCounter(s.counter, s.d, len(sets)) == CounterBitmap {
+		return verticalIndexWith(s.d, s.parallelism, s.pass1).Count(sets, s.parallelism)
+	}
+	return CountItemsetsTrie(s.d, sets, s.parallelism)
 }
 
 // Mine runs Apriori over d at the given minimum support (fraction in (0,1])
@@ -231,7 +277,13 @@ func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
 // per-shard count vectors in shard order, so the mined frequent sets are
 // bit-identical to the serial miner for every worker count.
 func MineP(d *txn.Dataset, minSupport float64, parallelism int) (*FrequentSet, error) {
-	return MineFrom(datasetSource{d: d, parallelism: parallelism}, minSupport)
+	return MineFrom(NewSource(d, parallelism, CounterDefault), minSupport)
+}
+
+// MineWith is MineP with an explicit counting backend; the mined frequent
+// sets are bit-identical for every Counter.
+func MineWith(d *txn.Dataset, minSupport float64, parallelism int, counter Counter) (*FrequentSet, error) {
+	return MineFrom(NewSource(d, parallelism, counter), minSupport)
 }
 
 // MineFrom runs Apriori against an arbitrary count source. The mined set is

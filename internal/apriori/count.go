@@ -79,13 +79,49 @@ func CountItemsets(d *txn.Dataset, sets []Itemset) []int {
 	return CountItemsetsP(d, sets, 1)
 }
 
-// CountItemsetsP is CountItemsets with a parallelism knob (0 = the process
-// default, 1 = the exact serial path, n = n workers): the transactions are
-// sharded into contiguous chunks, each worker descends the shared read-only
-// trie into a private count vector, and the per-shard vectors are summed in
-// shard order. Counts are integers, so the merged result is bit-identical
-// to the serial scan for every worker count.
+// CountItemsetsP is CountItemsets with a parallelism knob; the backend is
+// the process-default Counter (CounterAuto unless overridden via
+// SetDefaultCounter). Counts are bit-identical for every backend and worker
+// count.
 func CountItemsetsP(d *txn.Dataset, sets []Itemset, parallelism int) []int {
+	return CountItemsetsC(d, sets, parallelism, CounterDefault)
+}
+
+// CountItemsetsC is the counting entry point with both knobs explicit: a
+// parallelism (0 = the process default, 1 = the exact serial path, n = n
+// workers) and a Counter backend. The trie backend walks every transaction
+// through a candidate prefix trie; the bitmap backend intersects per-item
+// transaction bitsets from the dataset's memoized vertical index;
+// CounterAuto picks per call by density × candidate volume. Both backends
+// produce bit-identical integer counts (pinned by the differential harness
+// in count_diff_test.go), so the knob trades construction and scan costs
+// only.
+func CountItemsetsC(d *txn.Dataset, sets []Itemset, parallelism int, counter Counter) []int {
+	if len(sets) == 0 || d.Len() == 0 {
+		return make([]int, len(sets))
+	}
+	if resolveCounter(counter, d, len(sets)) == CounterBitmap {
+		return CountItemsetsBitmap(d, sets, parallelism)
+	}
+	return CountItemsetsTrie(d, sets, parallelism)
+}
+
+// CountItemsetsBitmap counts through the vertical TID-bitmap index
+// (building and memoizing it on d on first use), sharding the itemsets —
+// not the transactions — across workers.
+func CountItemsetsBitmap(d *txn.Dataset, sets []Itemset, parallelism int) []int {
+	if len(sets) == 0 || d.Len() == 0 {
+		return make([]int, len(sets))
+	}
+	return VerticalIndexOf(d, parallelism).Count(sets, parallelism)
+}
+
+// CountItemsetsTrie counts through the prefix-trie subset scan: the
+// transactions are sharded into contiguous chunks, each worker descends the
+// shared read-only trie into a private count vector, and the per-shard
+// vectors are summed in shard order. Counts are integers, so the merged
+// result is bit-identical to the serial scan for every worker count.
+func CountItemsetsTrie(d *txn.Dataset, sets []Itemset, parallelism int) []int {
 	counts := make([]int, len(sets))
 	if len(sets) == 0 || d.Len() == 0 {
 		return counts
@@ -120,7 +156,15 @@ func CountItemsetsP(d *txn.Dataset, sets []Itemset, parallelism int) []int {
 // pass-1 summary of a windowed monitor: vectors from disjoint batches add
 // (and subtract) into the counts a single scan of their union would produce.
 func ItemCountsP(d *txn.Dataset, parallelism int) []int {
-	return datasetSource{d: d, parallelism: parallelism}.ItemCounts()
+	return ItemCountsWith(d, parallelism, CounterDefault)
+}
+
+// ItemCountsWith is ItemCountsP with an explicit counting backend: the
+// bitmap backend serves the counts from the memoized vertical index
+// (priming it for the candidate counting that follows), any other backend
+// scans horizontally.
+func ItemCountsWith(d *txn.Dataset, parallelism int, counter Counter) []int {
+	return NewSource(d, parallelism, counter).ItemCounts()
 }
 
 // CountItemsetsBrute is the quadratic reference implementation of

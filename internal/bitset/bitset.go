@@ -1,0 +1,72 @@
+// Package bitset provides the fixed-size uint64-word bitsets behind the
+// vertical (TID-bitmap) counting backend of internal/apriori: one bitset
+// per item records which transactions contain the item, and the support of
+// an itemset is the popcount of the AND of its items' bitsets.
+//
+// The hot operation is therefore intersect-and-count. AndCount fuses the
+// AND with the popcount so a final intersection never materializes, and
+// AndInto materializes partial intersections into a caller-owned scratch
+// set, so counting an itemset of any length allocates nothing beyond one
+// scratch set per worker.
+package bitset
+
+import "math/bits"
+
+// wordBits is the number of bits per word.
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over [0, n) stored as uint64 words. All
+// binary operations require operands of equal word length (the length New
+// fixes from n); sets over the same domain always satisfy this.
+type Set []uint64
+
+// Words returns the number of uint64 words a set over [0, n) occupies.
+func Words(n int) int {
+	return (n + wordBits - 1) / wordBits
+}
+
+// New returns an empty set with capacity for bits [0, n).
+func New(n int) Set {
+	return make(Set, Words(n))
+}
+
+// Set sets bit i. The caller must ensure 0 <= i < capacity.
+func (s Set) Set(i int) {
+	s[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Test reports whether bit i is set. The caller must ensure i >= 0; indexes
+// at or beyond the capacity read as unset.
+func (s Set) Test(i int) bool {
+	w := i / wordBits
+	return w < len(s) && s[w]&(1<<(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndInto stores a AND b into dst and returns dst. dst may alias a or b;
+// all three must have equal length.
+func AndInto(dst, a, b Set) Set {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+	return dst
+}
+
+// AndCount returns the popcount of a AND b without materializing the
+// intersection — the fused kernel of vertical support counting. a and b
+// must have equal length.
+func AndCount(a, b Set) int {
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}

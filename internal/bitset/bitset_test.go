@@ -1,0 +1,93 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetTestCount(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		s := New(n)
+		if got, want := len(s), Words(n); got != want {
+			t.Fatalf("New(%d) has %d words, want %d", n, got, want)
+		}
+		if s.Count() != 0 {
+			t.Fatalf("New(%d) not empty", n)
+		}
+		want := map[int]bool{}
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		for i := 0; i < n; i += 1 + rng.Intn(7) {
+			s.Set(i)
+			want[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if s.Test(i) != want[i] {
+				t.Fatalf("n=%d: Test(%d) = %v, want %v", n, i, s.Test(i), want[i])
+			}
+		}
+		if s.Count() != len(want) {
+			t.Fatalf("n=%d: Count() = %d, want %d", n, s.Count(), len(want))
+		}
+	}
+}
+
+func TestTestBeyondCapacity(t *testing.T) {
+	s := New(10)
+	if s.Test(64) || s.Test(1 << 20) {
+		t.Fatal("bits beyond capacity must read as unset")
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	s := New(100)
+	s.Set(37)
+	s.Set(37)
+	if s.Count() != 1 {
+		t.Fatalf("Count() = %d after setting one bit twice", s.Count())
+	}
+}
+
+// TestAndAgainstReference checks AndInto and AndCount against a per-bit
+// reference on random sets, including the aliased dst form.
+func TestAndAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 64, 65, 200, 513} {
+		a, b := New(n), New(n)
+		ra, rb := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				ra[i] = true
+			}
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+				rb[i] = true
+			}
+		}
+		wantCount := 0
+		for i := 0; i < n; i++ {
+			if ra[i] && rb[i] {
+				wantCount++
+			}
+		}
+		if got := AndCount(a, b); got != wantCount {
+			t.Fatalf("n=%d: AndCount = %d, want %d", n, got, wantCount)
+		}
+		dst := AndInto(New(n), a, b)
+		if dst.Count() != wantCount {
+			t.Fatalf("n=%d: AndInto count = %d, want %d", n, dst.Count(), wantCount)
+		}
+		for i := 0; i < n; i++ {
+			if dst.Test(i) != (ra[i] && rb[i]) {
+				t.Fatalf("n=%d: AndInto bit %d wrong", n, i)
+			}
+		}
+		// Aliased: dst == a.
+		aCopy := make(Set, len(a))
+		copy(aCopy, a)
+		AndInto(aCopy, aCopy, b)
+		if aCopy.Count() != wantCount {
+			t.Fatalf("n=%d: aliased AndInto count = %d, want %d", n, aCopy.Count(), wantCount)
+		}
+	}
+}

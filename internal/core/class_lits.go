@@ -13,12 +13,24 @@ import (
 // mergeable streaming summary is the per-batch itemset support count.
 type litsClass struct {
 	minSupport float64
+	counter    apriori.Counter
 }
 
 // Lits returns the lits-model class instance mining frequent itemsets at
-// the given minimum support.
+// the given minimum support, counting through the process-default backend.
 func Lits(minSupport float64) ModelClass[*txn.Dataset, *LitsModel] {
-	return litsClass{minSupport: minSupport}
+	return LitsWithCounter(minSupport, apriori.CounterDefault)
+}
+
+// LitsWithCounter is Lits with an explicit itemset-counting backend, used
+// for every scan the class performs — mining, GCR measurement, and the
+// per-batch counts of streaming windows. Models, deviations and reports
+// are bit-identical for every Counter; Config.Counter (WithCounter)
+// overrides it for batch-pipeline measurement scans. Unknown backends
+// panic here, at the construction site, rather than at the first scan.
+func LitsWithCounter(minSupport float64, counter apriori.Counter) ModelClass[*txn.Dataset, *LitsModel] {
+	apriori.MustCounter(counter)
+	return litsClass{minSupport: minSupport, counter: counter}
 }
 
 func (litsClass) Name() string { return "lits" }
@@ -32,10 +44,19 @@ func (litsClass) Resample(d *txn.Dataset, n int, rng *rand.Rand) *txn.Dataset {
 }
 
 func (c litsClass) Induce(d *txn.Dataset, parallelism int) (*LitsModel, error) {
-	return MineLitsP(d, c.minSupport, parallelism)
+	return MineLitsWith(d, c.minSupport, parallelism, c.counter)
 }
 
-func (litsClass) MeasureGCR(m1, m2 *LitsModel, d1, d2 *txn.Dataset, cfg *Config) ([]MeasuredRegion, error) {
+// counterFor resolves the backend of a measurement scan: an explicit
+// Config.Counter (WithCounter) wins over the class's own backend.
+func (c litsClass) counterFor(cfg *Config) apriori.Counter {
+	if cfg.Counter != apriori.CounterDefault {
+		return cfg.Counter
+	}
+	return c.counter
+}
+
+func (c litsClass) MeasureGCR(m1, m2 *LitsModel, d1, d2 *txn.Dataset, cfg *Config) ([]MeasuredRegion, error) {
 	if d1.NumItems != d2.NumItems {
 		return nil, fmt.Errorf("core: datasets have different item universes (%d vs %d)", d1.NumItems, d2.NumItems)
 	}
@@ -49,8 +70,9 @@ func (litsClass) MeasureGCR(m1, m2 *LitsModel, d1, d2 *txn.Dataset, cfg *Config)
 		}
 		gcr = kept
 	}
-	c1 := apriori.CountItemsetsP(d1, gcr, cfg.Parallelism)
-	c2 := apriori.CountItemsetsP(d2, gcr, cfg.Parallelism)
+	counter := c.counterFor(cfg)
+	c1 := apriori.CountItemsetsC(d1, gcr, cfg.Parallelism, counter)
+	c2 := apriori.CountItemsetsC(d2, gcr, cfg.Parallelism, counter)
 	regions := make([]MeasuredRegion, len(gcr))
 	for i := range gcr {
 		regions[i] = MeasuredRegion{Alpha1: float64(c1[i]), Alpha2: float64(c2[i])}
@@ -61,6 +83,7 @@ func (litsClass) MeasureGCR(m1, m2 *LitsModel, d1, d2 *txn.Dataset, cfg *Config)
 func (c litsClass) NewWindow(parallelism int) (Window[*txn.Dataset, *LitsModel], error) {
 	return &litsWindow{
 		minSupport:  c.minSupport,
+		counter:     c.counter,
 		parallelism: parallelism,
 		intern:      newInternTable(),
 	}, nil
@@ -146,6 +169,7 @@ func (b *litsBatch) grow(n int) {
 // batch added anywhere in the window's clone family.
 type litsWindow struct {
 	minSupport  float64
+	counter     apriori.Counter
 	numItems    int
 	parallelism int
 	intern      *internTable
@@ -164,7 +188,7 @@ func (w *litsWindow) Add(d *txn.Dataset, parallelism int) error {
 	} else if d.NumItems != w.numItems {
 		return fmt.Errorf("core: batch universe %d != window universe %d", d.NumItems, w.numItems)
 	}
-	b := &litsBatch{data: d, items: apriori.ItemCountsP(d, parallelism)}
+	b := &litsBatch{data: d, items: apriori.ItemCountsWith(d, parallelism, w.counter)}
 	w.batchList = append(w.batchList, b)
 	for i, v := range b.items {
 		w.items[i] += v
@@ -203,6 +227,7 @@ func (w *litsWindow) Data() *txn.Dataset {
 func (w *litsWindow) Clone() Window[*txn.Dataset, *LitsModel] {
 	return &litsWindow{
 		minSupport:  w.minSupport,
+		counter:     w.counter,
 		numItems:    w.numItems,
 		parallelism: w.parallelism,
 		intern:      w.intern,
@@ -249,7 +274,9 @@ func (w *litsWindow) Count(sets []apriori.Itemset) []int {
 			}
 		}
 		if len(missing) > 0 {
-			counts := apriori.CountItemsetsP(b.data, missing, w.parallelism)
+			// The batch datasets are sealed, so a bitmap backend's memoized
+			// per-batch vertical index persists across window advances.
+			counts := apriori.CountItemsetsC(b.data, missing, w.parallelism, w.counter)
 			for j, c := range counts {
 				i := missingIdx[j]
 				b.counts[ids[i]] = c

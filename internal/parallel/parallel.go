@@ -87,6 +87,31 @@ func Chunks(n, workers int) []Chunk {
 	return out
 }
 
+// ChunksAligned is Chunks with every boundary between two chunks rounded
+// down to a multiple of align, dropping chunks emptied by the rounding.
+// Workers writing fixed-size records grouped align-to-a-machine-word (e.g.
+// 64 transaction bits per uint64 bitset word) then never share a word
+// across shards, so they can build into common storage without atomics.
+func ChunksAligned(n, workers, align int) []Chunk {
+	chunks := Chunks(n, workers)
+	if align <= 1 || len(chunks) <= 1 {
+		return chunks
+	}
+	out := chunks[:0]
+	lo := 0
+	for i, c := range chunks {
+		hi := c.Hi
+		if i < len(chunks)-1 {
+			hi = hi - hi%align
+		}
+		if hi > lo {
+			out = append(out, Chunk{Lo: lo, Hi: hi})
+			lo = hi
+		}
+	}
+	return out
+}
+
 // Do partitions [0, n) into chunks for Workers(parallelism) workers and
 // runs body once per chunk, waiting for all of them. With a single chunk,
 // body runs inline on the calling goroutine — the exact serial path.

@@ -55,6 +55,38 @@ func TestChunksBalanced(t *testing.T) {
 	}
 }
 
+func TestChunksAligned(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 129, 1000, 4096} {
+		for _, w := range []int{1, 2, 3, 7, 16} {
+			for _, align := range []int{1, 64} {
+				chunks := ChunksAligned(n, w, align)
+				next := 0
+				for i, c := range chunks {
+					if c.Lo != next {
+						t.Fatalf("ChunksAligned(%d,%d,%d)[%d].Lo = %d, want %d", n, w, align, i, c.Lo, next)
+					}
+					if c.Len() < 1 {
+						t.Fatalf("ChunksAligned(%d,%d,%d)[%d] is empty", n, w, align, i)
+					}
+					if i > 0 && c.Lo%align != 0 {
+						t.Fatalf("ChunksAligned(%d,%d,%d)[%d].Lo = %d not a multiple of %d", n, w, align, i, c.Lo, align)
+					}
+					next = c.Hi
+				}
+				if n <= 0 {
+					if chunks != nil {
+						t.Fatalf("ChunksAligned(%d,%d,%d) = %v, want nil", n, w, align, chunks)
+					}
+					continue
+				}
+				if next != n {
+					t.Fatalf("ChunksAligned(%d,%d,%d) covers [0,%d), want [0,%d)", n, w, align, next, n)
+				}
+			}
+		}
+	}
+}
+
 func TestWorkersResolution(t *testing.T) {
 	if got := Workers(3); got != 3 {
 		t.Fatalf("Workers(3) = %d, want 3", got)

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"focus/internal/apriori"
 	"focus/internal/cluster"
 	"focus/internal/core"
 	"focus/internal/dataset"
@@ -237,6 +238,10 @@ func bindLits(s *Session, cfg *SessionConfig) error {
 	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
 		return badRequest("lits session requires min_support in (0, 1]")
 	}
+	counter, err := apriori.ParseCounter(cfg.Counter)
+	if err != nil {
+		return badRequest(err.Error())
+	}
 	mcfg, err := monitorConfig(cfg)
 	if err != nil {
 		return err
@@ -254,7 +259,7 @@ func bindLits(s *Session, cfg *SessionConfig) error {
 			return badRequest(fmt.Sprintf("reference: %v", err))
 		}
 	}
-	return bindSession(s, core.Lits(cfg.MinSupport), ref, ref != nil, mcfg, decode)
+	return bindSession(s, core.LitsWithCounter(cfg.MinSupport, counter), ref, ref != nil, mcfg, decode)
 }
 
 func bindDT(s *Session, cfg *SessionConfig) error {

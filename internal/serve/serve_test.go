@@ -56,6 +56,25 @@ func litsSession(name string) string {
 	}`, name)
 }
 
+// litsSessionCounter is litsSession with an explicit counting backend and a
+// reference wide enough that the backends do real work.
+func litsSessionCounter(name, counter string) string {
+	var rows []string
+	for i := 0; i < 300; i++ {
+		rows = append(rows, fmt.Sprintf("[%d,%d,%d]", i%7, i%5+3, i%3+8))
+	}
+	return fmt.Sprintf(`{
+		"name": %q,
+		"model": "lits",
+		"num_items": 12,
+		"min_support": 0.1,
+		"counter": %q,
+		"window": 2,
+		"threshold": 0.2,
+		"reference": [%s]
+	}`, name, counter, strings.Join(rows, ","))
+}
+
 func dtSession(name string) string {
 	var rows []string
 	for i := 0; i < 200; i++ {
@@ -144,6 +163,9 @@ func TestCreateSessionValidation(t *testing.T) {
 		{"lits missing universe", `{"name": "m", "model": "lits", "min_support": 0.1, "reference": [[0]]}`, 400},
 		{"lits bad support", `{"name": "m", "model": "lits", "num_items": 5, "min_support": 2, "reference": [[0]]}`, 400},
 		{"lits item outside universe", `{"name": "m", "model": "lits", "num_items": 5, "min_support": 0.1, "reference": [[9]]}`, 400},
+		{"lits counter bitmap", litsSessionCounter("ok-bitmap", "bitmap"), 201},
+		{"lits counter trie", litsSessionCounter("ok-trie", "trie"), 201},
+		{"lits bad counter", litsSessionCounter("m", "btree"), 400},
 		{"dt missing class", `{"name": "m", "model": "dt", "reference": [{"x": 1}],
 			"schema": {"attrs": [{"name": "x", "kind": "numeric", "min": 0, "max": 1}]}}`, 400},
 		{"dt missing reference", strings.Replace(dtSession("m"), `"reference"`, `"_reference"`, 1), 400},
@@ -338,5 +360,41 @@ func TestPreviousWindowSession(t *testing.T) {
 	code, b = do(t, ts, "POST", "/v1/sessions/pw/batches", fmt.Sprintf(`{"rows": %s}`, driftRows()))
 	if code != 200 || b["report"] == nil {
 		t.Fatalf("second batch: %d %v", code, b)
+	}
+}
+
+// TestCounterSessionsEquivalent feeds identical batch streams to a trie
+// session and a bitmap session: every report — deviation bytes included,
+// since both decode from the same JSON rendering — must be identical.
+func TestCounterSessionsEquivalent(t *testing.T) {
+	ts := newServer(t)
+	for _, counter := range []string{"trie", "bitmap"} {
+		if code, b := do(t, ts, "POST", "/v1/sessions", litsSessionCounter(counter, counter)); code != 201 {
+			t.Fatalf("create %s: %d %v", counter, code, b)
+		}
+	}
+	batches := []string{}
+	for b := 0; b < 4; b++ {
+		var rows []string
+		for i := 0; i < 150; i++ {
+			rows = append(rows, fmt.Sprintf("[%d,%d]", (i+b*2)%9, (i+b)%4+6))
+		}
+		batches = append(batches, "["+strings.Join(rows, ",")+"]")
+	}
+	for bi, rows := range batches {
+		var reports []map[string]any
+		for _, counter := range []string{"trie", "bitmap"} {
+			code, b := do(t, ts, "POST", "/v1/sessions/"+counter+"/batches", fmt.Sprintf(`{"rows": %s}`, rows))
+			if code != 200 {
+				t.Fatalf("batch %d to %s: %d %v", bi, counter, code, b)
+			}
+			rep, _ := b["report"].(map[string]any)
+			reports = append(reports, rep)
+		}
+		trieJSON, _ := json.Marshal(reports[0])
+		bitmapJSON, _ := json.Marshal(reports[1])
+		if string(trieJSON) != string(bitmapJSON) {
+			t.Fatalf("batch %d: trie report %s != bitmap report %s", bi, trieJSON, bitmapJSON)
+		}
 	}
 }

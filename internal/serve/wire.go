@@ -85,6 +85,10 @@ type SessionConfig struct {
 	// Lits sessions: the item universe size and Apriori minimum support.
 	NumItems   int     `json:"num_items,omitempty"`
 	MinSupport float64 `json:"min_support,omitempty"`
+	// Counter selects the lits counting backend ("auto", "trie" or
+	// "bitmap"; empty = the process default). Reports are bit-identical
+	// for every backend.
+	Counter string `json:"counter,omitempty"`
 
 	// Dt and cluster sessions: the attribute space of the tuples.
 	Schema *SchemaJSON `json:"schema,omitempty"`

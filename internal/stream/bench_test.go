@@ -21,6 +21,7 @@ func benchStream(b *testing.B) (*txn.Dataset, [][]txn.Transaction) {
 }
 
 func BenchmarkLitsMonitorIncremental(b *testing.B) {
+	b.ReportAllocs()
 	ref, batches := benchStream(b)
 	const minSupport = 0.02
 	mon, err := NewLitsMonitor(ref, minSupport, Options{WindowBatches: 8, Parallelism: 1})
@@ -36,6 +37,7 @@ func BenchmarkLitsMonitorIncremental(b *testing.B) {
 }
 
 func BenchmarkLitsRebuildFromScratch(b *testing.B) {
+	b.ReportAllocs()
 	ref, batches := benchStream(b)
 	const minSupport = 0.02
 	refModel, err := core.MineLitsP(ref, minSupport, 1)

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"sync"
 
 	"focus/internal/parallel"
 )
@@ -70,9 +71,16 @@ func (t Transaction) Clone() Transaction {
 }
 
 // Dataset is a finite multiset of transactions over a fixed item universe.
+// Datasets are handled by pointer throughout (the memo slot below makes the
+// struct non-copyable under vet's copylocks check).
 type Dataset struct {
 	NumItems int
 	Txns     []Transaction
+
+	// memo lazily caches one derived structure of the finished dataset
+	// (the vertical counting index of internal/apriori); see Memo.
+	memoMu sync.Mutex
+	memo   any
 }
 
 // New creates an empty transaction dataset over numItems items.
@@ -83,8 +91,45 @@ func New(numItems int) *Dataset {
 // Len returns |D|, the number of transactions.
 func (d *Dataset) Len() int { return len(d.Txns) }
 
-// Add appends transactions (assumed normalized) to the dataset.
-func (d *Dataset) Add(ts ...Transaction) { d.Txns = append(d.Txns, ts...) }
+// Add appends transactions (assumed normalized) to the dataset and drops
+// any memoized derived structure, which the append invalidates. The append
+// and the invalidation happen under the memo lock, so a Memo build can
+// never interleave with an Add and cache a stale structure.
+func (d *Dataset) Add(ts ...Transaction) {
+	d.memoMu.Lock()
+	defer d.memoMu.Unlock()
+	d.Txns = append(d.Txns, ts...)
+	d.memo = nil
+}
+
+// Memo returns the dataset's memoized derived structure, calling build to
+// create it on the first use. It exists so a package that derives an index
+// from a dataset (internal/apriori's vertical counting index) can amortize
+// construction across repeated scans — bootstrap draws, window re-counts —
+// without this package importing it. The slot is single-occupancy and
+// currently owned by apriori's vertical index: a second derived structure
+// needs its own slot, not a second caller of this one. Memo is safe for
+// concurrent use with other Memo and Add calls (build runs under the memo
+// lock, at most once per invalidation), but callers must not mutate Txns
+// directly once a memo exists: Add invalidates the memo, raw appends
+// cannot.
+func (d *Dataset) Memo(build func() any) any {
+	d.memoMu.Lock()
+	defer d.memoMu.Unlock()
+	if d.memo == nil {
+		d.memo = build()
+	}
+	return d.memo
+}
+
+// HasMemo reports whether a memoized derived structure currently exists —
+// a cheap probe for heuristics that would choose differently when the
+// structure is already paid for (see apriori's auto counter).
+func (d *Dataset) HasMemo() bool {
+	d.memoMu.Lock()
+	defer d.memoMu.Unlock()
+	return d.memo != nil
+}
 
 // AvgLen returns the average transaction length.
 func (d *Dataset) AvgLen() float64 {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -263,5 +264,49 @@ func TestReadErrors(t *testing.T) {
 	}
 	if _, err := Read(bytes.NewBufferString("10\n1 2 x\n")); err == nil {
 		t.Error("Read with bad item succeeded")
+	}
+}
+
+// TestMemoBuildsOncePerInvalidation pins the memo contract: one build per
+// state, Add invalidates, the built value is returned to every caller.
+func TestMemoBuildsOncePerInvalidation(t *testing.T) {
+	d := New(3)
+	d.Add(Transaction{0, 1})
+	builds := 0
+	build := func() any { builds++; return len(d.Txns) }
+	if got := d.Memo(build).(int); got != 1 {
+		t.Fatalf("memo = %d, want 1", got)
+	}
+	if got := d.Memo(build).(int); got != 1 || builds != 1 {
+		t.Fatalf("second Memo rebuilt (builds=%d, got=%d)", builds, got)
+	}
+	d.Add(Transaction{2})
+	if got := d.Memo(build).(int); got != 2 || builds != 2 {
+		t.Fatalf("Add did not invalidate (builds=%d, got=%d)", builds, got)
+	}
+}
+
+// TestMemoAddConcurrent hammers Add and Memo from concurrent goroutines:
+// because both run under the memo lock, a memoized value can never reflect
+// a state older than the last Add — so after all goroutines finish, the
+// memo must see every appended transaction. Run under -race in CI.
+func TestMemoAddConcurrent(t *testing.T) {
+	d := New(4)
+	build := func() any { return len(d.Txns) }
+	var wg sync.WaitGroup
+	const workers, adds = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < adds; j++ {
+				d.Add(Transaction{0})
+				d.Memo(build)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.Memo(build).(int); got != workers*adds {
+		t.Fatalf("final memo sees %d transactions, want %d", got, workers*adds)
 	}
 }
