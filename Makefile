@@ -34,8 +34,11 @@ apicheck:
 # machine-readable trajectory BENCH_focus.json (package-qualified name ->
 # ns/op, B/op, allocs/op). The CI bench-delta step uploads the file as an
 # artifact, so each PR carries its benchmark snapshot; -require fails the
-# run if the counting-backend pair ever drops out of the trajectory.
-BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap
+# run if any of the headline pairs ever drops out of the trajectory: the
+# counting and mining backend pairs, the vertical-engine end-to-end wins
+# (Fig7 curves, bootstrap qualification), the ingestion-path pair, and the
+# incremental-vs-rebuild monitor pair.
+BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap,BenchmarkMineTrie,BenchmarkMineVertical,BenchmarkFig7LitsSDvsSF,BenchmarkQualifyLits,BenchmarkPump/source,BenchmarkPump/readcsv,BenchmarkLitsMonitorIncremental,BenchmarkLitsRebuildFromScratch
 bench:
 	go test -run XXX -bench . -benchmem -benchtime 1x ./... | tee bench.out
 	go run ./cmd/benchjson -require $(BENCH_REQUIRE) < bench.out > BENCH_focus.json

@@ -241,6 +241,33 @@ func BenchmarkCountBitmapBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkMineTrie / BenchmarkMineVertical are the mining twin of the
+// counting pair above: identical workload, bit-identical frequent sets,
+// levelwise trie passes vs the intersection-driven vertical DFS. Both run
+// serially so the comparison isolates the algorithm.
+func BenchmarkMineTrie(b *testing.B) {
+	b.ReportAllocs()
+	d, _ := countBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := apriori.MineWith(d, 0.1, 1, apriori.CounterTrie); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineVertical(b *testing.B) {
+	b.ReportAllocs()
+	d, _ := countBenchData(b)
+	apriori.VerticalIndexOf(d, 0) // build outside the timer; memoized thereafter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := apriori.MineVertical(d, 0.1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAblationCountingBrute(b *testing.B) {
 	b.ReportAllocs()
 	d, _ := ablationTxnData(b, 5000)
@@ -281,7 +308,7 @@ func BenchmarkAblationLitsDeviationScan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.LitsDeviation(m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.LitsOptions{Parallelism: 1}); err != nil {
+		if _, err := core.Deviation(core.Lits(0.01), m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.WithParallelism(1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -303,7 +330,7 @@ func BenchmarkParallelLitsDeviationScan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.LitsDeviation(m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.LitsOptions{}); err != nil {
+		if _, err := core.Deviation(core.Lits(0.01), m1, m2, d1, d2, core.AbsoluteDiff, core.Sum); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -338,24 +365,25 @@ func ablationDTData(b *testing.B) (*focus.Dataset, *focus.Dataset, *core.DTModel
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := dtree.Config{MaxDepth: 8, MinLeaf: 50}
-	m1, err := core.BuildDTModel(d1, cfg)
+	m1, err := core.BuildDTModel(d1, ablationDTConfig)
 	if err != nil {
 		b.Fatal(err)
 	}
-	m2, err := core.BuildDTModel(d2, cfg)
+	m2, err := core.BuildDTModel(d2, ablationDTConfig)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return d1, d2, m1, m2
 }
 
+var ablationDTConfig = dtree.Config{MaxDepth: 8, MinLeaf: 50}
+
 func BenchmarkAblationDTDeviationRouted(b *testing.B) {
 	b.ReportAllocs()
 	d1, d2, m1, m2 := ablationDTData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DTDeviation(m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.DTOptions{Parallelism: 1}); err != nil {
+		if _, err := core.Deviation(core.DT(ablationDTConfig), m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.WithParallelism(1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -369,7 +397,7 @@ func BenchmarkParallelDTDeviationRouted(b *testing.B) {
 	d1, d2, m1, m2 := ablationDTData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DTDeviation(m1, m2, d1, d2, core.AbsoluteDiff, core.Sum, core.DTOptions{}); err != nil {
+		if _, err := core.Deviation(core.DT(ablationDTConfig), m1, m2, d1, d2, core.AbsoluteDiff, core.Sum); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -439,8 +467,8 @@ func BenchmarkQualifyLits(b *testing.B) {
 	d1, d2 := ablationTxnData(b, 4000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.QualifyLits(d1, d2, 0.02, core.AbsoluteDiff, core.Sum,
-			core.QualifyOptions{Replicates: 11, Seed: 15}); err != nil {
+		if _, err := core.Qualify(core.Lits(0.02), d1, d2, core.AbsoluteDiff, core.Sum,
+			core.WithReplicates(11), core.WithSeed(15)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,6 +4,8 @@ package focus_test
 // per-class entry point is a thin wrapper over the unified generic
 // pipeline and produces bit-identical (==, not approximately equal)
 // results, across difference/aggregate functions and parallelism settings.
+//
+//lint:file-ignore SA1019 this suite exercises the deprecated compat surface on purpose
 
 import (
 	"testing"
@@ -460,6 +462,11 @@ func TestCompatMonitors(t *testing.T) {
 	oldDT, err := focus.NewDTMonitor(model.Tree, train, dtOpts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The class-specific monitor exposes the generic unified monitor.
+	var generic *focus.Monitor[*focus.Dataset, *focus.DTMeasures] = oldDT.Generic()
+	if generic == nil {
+		t.Fatal("deprecated monitor does not expose the generic monitor")
 	}
 	newDT, err := focus.NewMonitor(focus.PinnedDT(model.Tree), train, focus.WithConfig(dtOpts))
 	if err != nil {

@@ -268,10 +268,13 @@ type (
 // process-default backend.
 func Lits(minSupport float64) ModelClass[*TxnDataset, *LitsModel] { return core.Lits(minSupport) }
 
-// LitsWithCounter is Lits with an explicit itemset-counting backend, used
-// for every scan the class performs — mining, GCR measurement, and the
-// per-batch counts of streaming monitor windows. Models and reports are
-// bit-identical for every Counter.
+// LitsWithCounter is Lits with an explicit vertical-engine backend, one
+// decision for every support operation the class performs — mining
+// (levelwise trie passes vs the intersection-driven vertical DFS), GCR
+// measurement, bootstrap replicates (materialized resamples vs weighted
+// views over the memoized index), and streaming monitor windows
+// (per-batch counts and incremental window mining). Models and reports
+// are bit-identical for every Counter.
 func LitsWithCounter(minSupport float64, c Counter) ModelClass[*TxnDataset, *LitsModel] {
 	return core.LitsWithCounter(minSupport, c)
 }
@@ -299,9 +302,10 @@ func Cluster(g *Grid, minDensity float64) ModelClass[*Dataset, *ClusterModel] {
 // every setting.
 func WithParallelism(n int) Option { return core.WithParallelism(n) }
 
-// WithCounter selects the lits counting backend for the pipeline's dataset
-// scans; results are bit-identical for every backend. Monitors take their
-// backend from the model class instead (LitsWithCounter).
+// WithCounter selects the lits vertical-engine backend for the pipeline —
+// counting, mining, and bootstrap views follow the one knob; results are
+// bit-identical for every backend. Monitors take their backend from the
+// model class instead (LitsWithCounter).
 func WithCounter(c Counter) Option { return core.WithCounter(c) }
 
 // WithFocus restricts the deviation to a box region (Definition 5.2).

@@ -52,11 +52,11 @@ func TestFacadeLitsWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	devSame, err := focus.LitsDeviation(m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+	devSame, err := focus.Deviation(focus.Lits(ms), m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum)
 	if err != nil {
 		t.Fatal(err)
 	}
-	devChanged, err := focus.LitsDeviation(m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+	devChanged, err := focus.Deviation(focus.Lits(ms), m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +68,11 @@ func TestFacadeLitsWorkflow(t *testing.T) {
 		t.Errorf("delta* %v < delta %v", b, devChanged)
 	}
 	// Qualification separates the two cases.
-	qSame, err := focus.QualifyLits(d1, d2, ms, focus.AbsoluteDiff, focus.Sum, focus.QualifyOptions{Replicates: 19, Seed: 3})
+	qSame, err := focus.Qualify(focus.Lits(ms), d1, d2, focus.AbsoluteDiff, focus.Sum, focus.WithReplicates(19), focus.WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	qChanged, err := focus.QualifyLits(d1, d3, ms, focus.AbsoluteDiff, focus.Sum, focus.QualifyOptions{Replicates: 19, Seed: 4})
+	qChanged, err := focus.Qualify(focus.Lits(ms), d1, d3, focus.AbsoluteDiff, focus.Sum, focus.WithReplicates(19), focus.WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestFacadeDTWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev, err := focus.DTDeviation(m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum, focus.DTOptions{})
+	dev, err := focus.Deviation(focus.DT(cfg), m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestFacadeDTWorkflow(t *testing.T) {
 	// Focussed deviation over young customers only.
 	schema := classgen.Schema()
 	young := focus.FullRegion(schema).ConstrainUpper(classgen.AttrAge, 40)
-	focussed, err := focus.DTDeviation(m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum, focus.DTOptions{Focus: young})
+	focussed, err := focus.Deviation(focus.DT(cfg), m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum, focus.WithFocus(young))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestFacadeDTWorkflow(t *testing.T) {
 		t.Errorf("different processes fit the old model: p = %v", res.PValue)
 	}
 	// Qualification.
-	q, err := focus.QualifyDT(d1, d2, cfg, focus.AbsoluteDiff, focus.Sum, focus.QualifyOptions{Replicates: 19, Seed: 9})
+	q, err := focus.Qualify(focus.DT(cfg), d1, d2, focus.AbsoluteDiff, focus.Sum, focus.WithReplicates(19), focus.WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestFacadeClusterWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev, err := focus.ClusterDeviation(m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum)
+	dev, err := focus.Deviation(focus.Cluster(g, 0.005), m1, m2, d1, d2, focus.AbsoluteDiff, focus.Sum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,18 +224,18 @@ func TestFacadeScaledDiffAndMax(t *testing.T) {
 	d1, _, d3 := facadeTxnData(t)
 	m1, _ := focus.MineLits(d1, 0.03)
 	m3, _ := focus.MineLits(d3, 0.03)
-	devMax, err := focus.LitsDeviation(m1, m3, d1, d3, focus.AbsoluteDiff, focus.Max, focus.LitsOptions{})
+	devMax, err := focus.Deviation(focus.Lits(0.03), m1, m3, d1, d3, focus.AbsoluteDiff, focus.Max)
 	if err != nil {
 		t.Fatal(err)
 	}
-	devSum, err := focus.LitsDeviation(m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+	devSum, err := focus.Deviation(focus.Lits(0.03), m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if devMax > devSum {
 		t.Errorf("max aggregate %v exceeds sum %v", devMax, devSum)
 	}
-	if _, err := focus.LitsDeviation(m1, m3, d1, d3, focus.ScaledDiff, focus.Sum, focus.LitsOptions{}); err != nil {
+	if _, err := focus.Deviation(focus.Lits(0.03), m1, m3, d1, d3, focus.ScaledDiff, focus.Sum); err != nil {
 		t.Fatal(err)
 	}
 	f := focus.ChiSquaredDiff(0.5)
@@ -257,19 +257,19 @@ func TestFacadeFocusPredicate(t *testing.T) {
 	for _, it := range family {
 		in[it] = true
 	}
-	opts := focus.LitsOptions{Focus: func(s focus.Itemset) bool {
+	keep := func(s focus.Itemset) bool {
 		for _, it := range s {
 			if !in[it] {
 				return false
 			}
 		}
 		return true
-	}}
-	focussed, err := focus.LitsDeviation(m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum, opts)
+	}
+	focussed, err := focus.Deviation(focus.Lits(0.03), m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum, focus.WithFocusItemsets(keep))
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := focus.LitsDeviation(m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum, focus.LitsOptions{})
+	full, err := focus.Deviation(focus.Lits(0.03), m1, m3, d1, d3, focus.AbsoluteDiff, focus.Sum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,18 +304,11 @@ func TestFacadeMonitorWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	alerts := 0
-	mon, err := focus.NewDTMonitor(model.Tree, old, focus.MonitorOptions{
-		WindowBatches: 2,
-		Threshold:     0.2,
-		OnAlert:       func(focus.MonitorReport) { alerts++ },
-	})
+	mon, err := focus.NewMonitor(focus.PinnedDT(model.Tree), old,
+		focus.WithWindow(2), focus.WithThreshold(0.2),
+		focus.WithAlert(func(focus.MonitorReport) { alerts++ }))
 	if err != nil {
 		t.Fatal(err)
-	}
-	// The class-specific monitor exposes the generic unified monitor.
-	var generic *focus.Monitor[*focus.Dataset, *focus.DTMeasures] = mon.Generic()
-	if generic == nil {
-		t.Fatal("deprecated monitor does not expose the generic monitor")
 	}
 	var last *focus.MonitorReport
 	for i, fn := range []classgen.Function{classgen.F1, classgen.F1, classgen.F3} {
@@ -323,7 +316,7 @@ func TestFacadeMonitorWorkflow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		last, err = mon.Ingest(batch.Tuples)
+		last, err = mon.Ingest(batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -337,15 +330,17 @@ func TestFacadeMonitorWorkflow(t *testing.T) {
 
 	// Lits and cluster monitors through the facade.
 	d1, d2, d3 := facadeTxnData(t)
-	lm, err := focus.NewLitsMonitor(d1, 0.03, focus.MonitorOptions{WindowBatches: 1, Qualify: true, Replicates: 19, Seed: 3})
+	lm, err := focus.NewMonitor(focus.Lits(0.03), d1,
+		focus.WithWindow(1), focus.WithQualification(),
+		focus.WithReplicates(19), focus.WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	repSame, err := lm.Ingest(d2.Txns)
+	repSame, err := lm.Ingest(d2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repChanged, err := lm.Ingest(d3.Txns)
+	repChanged, err := lm.Ingest(d3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +360,8 @@ func TestFacadeMonitorWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cm, err := focus.NewClusterMonitor(grid, 0.02, old, focus.MonitorOptions{WindowBatches: 2, F: focus.ScaledDiff, G: focus.Max})
+	cm, err := focus.NewMonitor(focus.Cluster(grid, 0.02), old,
+		focus.WithWindow(2), focus.WithFunctions(focus.ScaledDiff, focus.Max))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +369,7 @@ func TestFacadeMonitorWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := cm.Ingest(batch.Tuples)
+	rep, err := cm.Ingest(batch)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,18 @@ func (s Itemset) Key() string {
 	return string(b)
 }
 
+// AppendKey appends the itemset's Key bytes to buf and returns it — the
+// allocation-free form of Key for map probes (a lookup via m[string(buf)]
+// compiles without copying the key).
+func (s Itemset) AppendKey(buf []byte) []byte {
+	for _, it := range s {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(it))
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
 // ParseKey reconstructs an itemset from a key produced by Key.
 func ParseKey(k string) Itemset {
 	if len(k)%4 != 0 {
@@ -179,47 +191,13 @@ type Source interface {
 }
 
 // NewSource adapts a *txn.Dataset to a Source with explicit parallelism
-// and counting-backend knobs — the seam through which Mine/MineFrom, the
-// generic lits model class and the streaming window summaries select the
-// trie or bitmap backend. Both backends return bit-identical counts, so the
-// mined frequent sets are independent of the knobs.
+// and counting-backend knobs, by returning the vertical execution Engine
+// over it — the seam through which Mine/MineFrom, the generic lits model
+// class and the streaming window summaries select the trie or bitmap
+// backend. Both backends return bit-identical counts, so the mined
+// frequent sets are independent of the knobs.
 func NewSource(d *txn.Dataset, parallelism int, counter Counter) Source {
-	MustCounter(counter)
-	return &datasetSource{d: d, parallelism: parallelism, counter: counter}
-}
-
-// datasetSource adapts a *txn.Dataset (with parallelism and counter knobs)
-// to Source. It caches its pass-1 vector so that, when a later candidate
-// pass resolves to the bitmap backend, the index build reuses it instead
-// of rescanning the transactions.
-type datasetSource struct {
-	d           *txn.Dataset
-	parallelism int
-	counter     Counter
-	pass1       []int
-}
-
-func (s *datasetSource) NumTxns() int  { return s.d.Len() }
-func (s *datasetSource) NumItems() int { return s.d.NumItems }
-
-func (s *datasetSource) ItemCounts() []int {
-	if s.pass1 != nil {
-		return s.pass1
-	}
-	// An explicit bitmap backend serves pass 1 from the vertical index,
-	// which primes the memoized index the candidate passes will reuse; an
-	// already-memoized index serves pass 1 for free on any backend that
-	// would build (or has built) it anyway.
-	c := s.counter
-	if c == CounterDefault {
-		c = DefaultCounter()
-	}
-	if c == CounterBitmap || (c == CounterAuto && s.d.HasMemo()) {
-		s.pass1 = VerticalIndexOf(s.d, s.parallelism).ItemCounts()
-	} else {
-		s.pass1 = horizontalItemCounts(s.d, s.parallelism)
-	}
-	return s.pass1
+	return NewEngine(d, parallelism, counter)
 }
 
 // horizontalItemCounts is the raw pass-1 scan — per-item occurrence counts
@@ -254,16 +232,6 @@ func horizontalItemCounts(d *txn.Dataset, parallelism int) []int {
 	return itemCounts
 }
 
-func (s *datasetSource) Count(sets []Itemset) []int {
-	if len(sets) == 0 || s.d.Len() == 0 {
-		return make([]int, len(sets))
-	}
-	if resolveCounter(s.counter, s.d, len(sets)) == CounterBitmap {
-		return verticalIndexWith(s.d, s.parallelism, s.pass1).Count(sets, s.parallelism)
-	}
-	return CountItemsetsTrie(s.d, sets, s.parallelism)
-}
-
 // Mine runs Apriori over d at the given minimum support (fraction in (0,1])
 // and returns all frequent itemsets with their counts.
 func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
@@ -272,35 +240,40 @@ func Mine(d *txn.Dataset, minSupport float64) (*FrequentSet, error) {
 
 // MineP is Mine with a parallelism knob (0 = the process default, 1 = the
 // exact serial path): the per-pass support counting — the dense item
-// counters of pass 1 and the trie-based candidate counting of every later
-// pass — shards the transactions across workers and merges the integer
-// per-shard count vectors in shard order, so the mined frequent sets are
-// bit-identical to the serial miner for every worker count.
+// counters of pass 1 and the candidate counting of every later pass — and
+// the vertical miner's subtree walk both shard across workers with
+// shard-order merges, so the mined frequent sets are bit-identical to the
+// serial miner for every worker count.
 func MineP(d *txn.Dataset, minSupport float64, parallelism int) (*FrequentSet, error) {
-	return MineFrom(NewSource(d, parallelism, CounterDefault), minSupport)
+	return NewEngine(d, parallelism, CounterDefault).Mine(minSupport)
 }
 
-// MineWith is MineP with an explicit counting backend; the mined frequent
-// sets are bit-identical for every Counter.
+// MineWith is MineP with an explicit backend knob, which selects the
+// mining strategy along with the counting backend (trie → levelwise
+// Apriori, bitmap → vertical Eclat, auto → per-dataset decision); the
+// mined frequent sets are bit-identical for every Counter.
 func MineWith(d *txn.Dataset, minSupport float64, parallelism int, counter Counter) (*FrequentSet, error) {
-	return MineFrom(NewSource(d, parallelism, counter), minSupport)
+	return NewEngine(d, parallelism, counter).Mine(minSupport)
 }
 
-// MineFrom runs Apriori against an arbitrary count source. The mined set is
-// a pure function of the counts the source returns, so a source that merges
-// cached per-batch counts yields exactly the model a full rescan would.
+// minSupportError is the shared out-of-range error of every miner entry.
+func minSupportError(minSupport float64) error {
+	return fmt.Errorf("apriori: minimum support %v outside (0,1]", minSupport)
+}
+
+// MineFrom runs levelwise Apriori against an arbitrary count source. The
+// mined set is a pure function of the counts the source returns, so a
+// source that merges cached per-batch counts yields exactly the model a
+// full rescan would.
 func MineFrom(src Source, minSupport float64) (*FrequentSet, error) {
 	if minSupport <= 0 || minSupport > 1 {
-		return nil, fmt.Errorf("apriori: minimum support %v outside (0,1]", minSupport)
+		return nil, minSupportError(minSupport)
 	}
 	out := &FrequentSet{MinSupport: minSupport, N: src.NumTxns()}
 	if src.NumTxns() == 0 {
 		return out, nil
 	}
-	minCount := int(minSupport*float64(src.NumTxns()) + 0.999999)
-	if minCount < 1 {
-		minCount = 1
-	}
+	minCount := minCountFor(minSupport, src.NumTxns())
 
 	// Pass 1: frequent items.
 	itemCounts := src.ItemCounts()
@@ -339,33 +312,59 @@ func MineFrom(src Source, minSupport float64) (*FrequentSet, error) {
 }
 
 // generateCandidates implements the Apriori candidate-generation step: join
-// (k-1)-itemsets sharing their first k-2 items, then prune candidates with an
-// infrequent (k-1)-subset (downward closure).
+// (k-1)-itemsets sharing their first k-2 items, then prune candidates with
+// an infrequent (k-1)-subset (downward closure). Membership checks binary-
+// search the sorted level instead of keying a map, and the surviving
+// candidates slice one shared arena, so a generation pass allocates O(1)
+// slices instead of O(candidates) map keys.
 func generateCandidates(level []Itemset) []Itemset {
-	sort.Slice(level, func(i, j int) bool { return level[i].Less(level[j]) })
-	prev := make(map[string]bool, len(level))
-	for _, s := range level {
-		prev[s.Key()] = true
+	if !sortedLex(level) {
+		sort.Slice(level, func(i, j int) bool { return level[i].Less(level[j]) })
 	}
 	k := len(level[0]) + 1
-	var out []Itemset
-	sub := make(Itemset, k-1)
+	// Count the join pairs first so one arena holds every candidate's items
+	// without reallocating (which would invalidate earlier candidates).
+	pairs := 0
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level) && samePrefix(level[i], level[j], k-2); j++ {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return nil
+	}
+	arena := make([]txn.Item, 0, pairs*k)
+	out := make([]Itemset, 0, pairs)
+	sub := make(Itemset, 0, k-1)
 	for i := 0; i < len(level); i++ {
 		for j := i + 1; j < len(level); j++ {
 			a, b := level[i], level[j]
 			if !samePrefix(a, b, k-2) {
 				break // level is sorted; no later j shares the prefix
 			}
-			cand := make(Itemset, 0, k)
-			cand = append(cand, a...)
-			cand = append(cand, b[k-2])
-			if !pruneOK(cand, prev, sub) {
+			start := len(arena)
+			arena = append(arena, a...)
+			arena = append(arena, b[k-2])
+			cand := Itemset(arena[start:len(arena):len(arena)])
+			if !pruneOK(cand, level, sub) {
+				arena = arena[:start]
 				continue
 			}
 			out = append(out, cand)
 		}
 	}
 	return out
+}
+
+// sortedLex reports whether the itemsets are already in lexicographic
+// order (levelwise passes always hand them over sorted).
+func sortedLex(level []Itemset) bool {
+	for i := 1; i < len(level); i++ {
+		if level[i].Less(level[i-1]) {
+			return false
+		}
+	}
+	return true
 }
 
 func samePrefix(a, b Itemset, n int) bool {
@@ -377,17 +376,25 @@ func samePrefix(a, b Itemset, n int) bool {
 	return true
 }
 
+// levelContains reports whether the sorted level holds s, by binary search.
+func levelContains(level []Itemset, s Itemset) bool {
+	lo := sort.Search(len(level), func(i int) bool { return !level[i].Less(s) })
+	return lo < len(level) && level[lo].Equal(s)
+}
+
 // pruneOK checks the downward-closure condition: every (k-1)-subset of cand
-// must be in prev. sub is scratch space of length k-1.
-func pruneOK(cand Itemset, prev map[string]bool, sub Itemset) bool {
-	for drop := range cand {
+// must be frequent. The subsets dropping cand's last two positions are the
+// join parents — present by construction — so only the earlier drops are
+// searched. sub is scratch space of capacity k-1.
+func pruneOK(cand Itemset, level []Itemset, sub Itemset) bool {
+	for drop := 0; drop < len(cand)-2; drop++ {
 		sub = sub[:0]
 		for i, it := range cand {
 			if i != drop {
 				sub = append(sub, it)
 			}
 		}
-		if !prev[Itemset(sub).Key()] {
+		if !levelContains(level, sub) {
 			return false
 		}
 	}

@@ -1,13 +1,17 @@
 // Package bitset provides the fixed-size uint64-word bitsets behind the
-// vertical (TID-bitmap) counting backend of internal/apriori: one bitset
-// per item records which transactions contain the item, and the support of
-// an itemset is the popcount of the AND of its items' bitsets.
+// vertical (TID-bitmap) execution engine of internal/apriori: one bitset
+// per item records which transactions contain the item, the support of an
+// itemset is the popcount of the AND of its items' bitsets, and the
+// Eclat-style miner walks prefix extensions through AND (tidsets) and
+// ANDNOT (diffsets) of those bitsets.
 //
-// The hot operation is therefore intersect-and-count. AndCount fuses the
-// AND with the popcount so a final intersection never materializes, and
-// AndInto materializes partial intersections into a caller-owned scratch
-// set, so counting an itemset of any length allocates nothing beyond one
-// scratch set per worker.
+// The hot operations are therefore intersect-and-count and its diffset
+// twin. AndCount/AndNotCount fuse the word operation with the popcount so
+// a final set never materializes; AndInto/AndNotInto materialize partial
+// results into caller-owned scratch; WeightAnd/WeightAndNot are the
+// multiplicity-weighted forms used by bootstrap views, where bit t carries
+// weight mult[t] instead of 1. A Pool recycles equal-length scratch sets
+// so steady-state mining and counting allocate nothing.
 package bitset
 
 import "math/bits"
@@ -69,4 +73,144 @@ func AndCount(a, b Set) int {
 		n += bits.OnesCount64(w & b[i])
 	}
 	return n
+}
+
+// And intersects s with b in place (s &= b); the in-place form of AndInto
+// for accumulator-style callers. Both sets must have equal length.
+func (s Set) And(b Set) {
+	for i := range s {
+		s[i] &= b[i]
+	}
+}
+
+// AndNot clears b's bits from s in place (s &^= b). Both sets must have
+// equal length.
+func (s Set) AndNot(b Set) {
+	for i := range s {
+		s[i] &^= b[i]
+	}
+}
+
+// AndNotInto stores a AND NOT b into dst and returns dst — the diffset
+// construction of the vertical miner: the tids of a prefix that do NOT
+// survive an extension. dst may alias a or b; all three must have equal
+// length.
+func AndNotInto(dst, a, b Set) Set {
+	for i := range dst {
+		dst[i] = a[i] &^ b[i]
+	}
+	return dst
+}
+
+// AndNotCount returns the popcount of a AND NOT b without materializing
+// the difference — the fused diffset cardinality, from which the vertical
+// miner derives support(P∪{x}) = support(P) − |t(P) \ t(x)|. a and b must
+// have equal length.
+func AndNotCount(a, b Set) int {
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w &^ b[i])
+	}
+	return n
+}
+
+// Weight returns the sum of mult[i] over the set bits of s — the
+// multiplicity-weighted popcount of a bootstrap view, where bit t stands
+// for mult[t] copies of transaction t. mult must cover every set bit.
+func (s Set) Weight(mult []int32) int {
+	n := 0
+	for i, w := range s {
+		base := i * wordBits
+		for w != 0 {
+			n += int(mult[base+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
+	return n
+}
+
+// WeightAnd returns the mult-weighted popcount of a AND b without
+// materializing the intersection — the weighted twin of AndCount. a and b
+// must have equal length.
+func WeightAnd(a, b Set, mult []int32) int {
+	n := 0
+	for i, aw := range a {
+		w := aw & b[i]
+		base := i * wordBits
+		for w != 0 {
+			n += int(mult[base+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
+	return n
+}
+
+// WeightAndNot returns the mult-weighted popcount of a AND NOT b — the
+// weighted twin of AndNotCount, used for diffset supports under a
+// bootstrap view. a and b must have equal length.
+func WeightAndNot(a, b Set, mult []int32) int {
+	n := 0
+	for i, aw := range a {
+		w := aw &^ b[i]
+		base := i * wordBits
+		for w != 0 {
+			n += int(mult[base+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
+	return n
+}
+
+// OrShiftInto ORs src's bits into dst starting at bit offset off:
+// dst[off+i] |= src[i]. Used to concatenate per-batch tid-bitmaps into one
+// window bitmap without revisiting transactions. dst must have room for
+// off + 64*len(src) bits' worth of words beyond any set bits of src; bits
+// of src beyond its logical length must be zero (bitset.New's contract).
+func OrShiftInto(dst, src Set, off int) {
+	wordOff, shift := off/wordBits, uint(off%wordBits)
+	if shift == 0 {
+		for i, w := range src {
+			dst[wordOff+i] |= w
+		}
+		return
+	}
+	for i, w := range src {
+		if w == 0 {
+			continue
+		}
+		dst[wordOff+i] |= w << shift
+		if hi := w >> (wordBits - shift); hi != 0 {
+			dst[wordOff+i+1] |= hi
+		}
+	}
+}
+
+// Pool is a free-list of equal-length scratch sets for intersection chains
+// and miner nodes: Get pops a recycled set (or allocates the first time),
+// Put returns one. Steady-state use allocates nothing. Returned sets hold
+// stale bits — callers are expected to overwrite via AndInto/AndNotInto.
+// A Pool is not safe for concurrent use; give each worker its own.
+type Pool struct {
+	words int
+	free  []Set
+}
+
+// NewPool returns a pool of scratch sets with capacity for bits [0, n).
+func NewPool(n int) *Pool {
+	return &Pool{words: Words(n)}
+}
+
+// Get returns a scratch set of the pool's length with unspecified contents.
+func (p *Pool) Get() Set {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return make(Set, p.words)
+}
+
+// Put returns a set obtained from Get to the pool.
+func (p *Pool) Put(s Set) {
+	p.free = append(p.free, s)
 }

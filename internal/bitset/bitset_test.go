@@ -33,7 +33,7 @@ func TestSetTestCount(t *testing.T) {
 
 func TestTestBeyondCapacity(t *testing.T) {
 	s := New(10)
-	if s.Test(64) || s.Test(1 << 20) {
+	if s.Test(64) || s.Test(1<<20) {
 		t.Fatal("bits beyond capacity must read as unset")
 	}
 }
@@ -88,6 +88,114 @@ func TestAndAgainstReference(t *testing.T) {
 		AndInto(aCopy, aCopy, b)
 		if aCopy.Count() != wantCount {
 			t.Fatalf("n=%d: aliased AndInto count = %d, want %d", n, aCopy.Count(), wantCount)
+		}
+	}
+}
+
+// TestDiffAndWeightOps checks the diffset and weighted kernels against a
+// boolean reference model, including the in-place variants.
+func TestDiffAndWeightOps(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130, 1000} {
+		rng := rand.New(rand.NewSource(int64(n) + 11))
+		a, b := New(n), New(n)
+		ra, rb := make([]bool, n), make([]bool, n)
+		mult := make([]int32, n)
+		for i := 0; i < n; i++ {
+			mult[i] = int32(rng.Intn(5))
+			if rng.Intn(3) == 0 {
+				a.Set(i)
+				ra[i] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				rb[i] = true
+			}
+		}
+		wantDiff, wantAndW, wantDiffW, wantAW := 0, 0, 0, 0
+		for i := 0; i < n; i++ {
+			if ra[i] && !rb[i] {
+				wantDiff++
+				wantDiffW += int(mult[i])
+			}
+			if ra[i] && rb[i] {
+				wantAndW += int(mult[i])
+			}
+			if ra[i] {
+				wantAW += int(mult[i])
+			}
+		}
+		if got := AndNotCount(a, b); got != wantDiff {
+			t.Fatalf("n=%d: AndNotCount = %d, want %d", n, got, wantDiff)
+		}
+		if got := AndNotInto(New(n), a, b).Count(); got != wantDiff {
+			t.Fatalf("n=%d: AndNotInto count = %d, want %d", n, got, wantDiff)
+		}
+		if got := a.Weight(mult); got != wantAW {
+			t.Fatalf("n=%d: Weight = %d, want %d", n, got, wantAW)
+		}
+		if got := WeightAnd(a, b, mult); got != wantAndW {
+			t.Fatalf("n=%d: WeightAnd = %d, want %d", n, got, wantAndW)
+		}
+		if got := WeightAndNot(a, b, mult); got != wantDiffW {
+			t.Fatalf("n=%d: WeightAndNot = %d, want %d", n, got, wantDiffW)
+		}
+		// In-place variants against their *Into twins.
+		ip := make(Set, len(a))
+		copy(ip, a)
+		ip.And(b)
+		if want := AndInto(New(n), a, b); ip.Count() != want.Count() || AndNotCount(ip, want) != 0 {
+			t.Fatalf("n=%d: in-place And differs from AndInto", n)
+		}
+		copy(ip, a)
+		ip.AndNot(b)
+		if want := AndNotInto(New(n), a, b); ip.Count() != want.Count() || AndNotCount(ip, want) != 0 {
+			t.Fatalf("n=%d: in-place AndNot differs from AndNotInto", n)
+		}
+	}
+}
+
+// TestPoolRecycles checks that a pool hands back sets of the right length
+// and recycles returned sets instead of allocating.
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(130)
+	s1 := p.Get()
+	if len(s1) != Words(130) {
+		t.Fatalf("pool set has %d words, want %d", len(s1), Words(130))
+	}
+	s1.Set(5)
+	p.Put(s1)
+	s2 := p.Get()
+	if &s2[0] != &s1[0] {
+		t.Fatal("pool did not recycle the returned set")
+	}
+	if got := testing.AllocsPerRun(100, func() { p.Put(p.Get()) }); got != 0 {
+		t.Fatalf("steady-state Get/Put allocates %v times per run", got)
+	}
+}
+
+// TestOrShiftInto checks bit-offset concatenation against a boolean
+// reference model across offsets that straddle word boundaries.
+func TestOrShiftInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, off := range []int{0, 1, 63, 64, 65, 100, 128, 200} {
+		for _, n := range []int{1, 64, 130, 500} {
+			src := New(n)
+			ref := make([]bool, off+n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					src.Set(i)
+					ref[off+i] = true
+				}
+			}
+			dst := New(off + n)
+			dst.Set(0) // pre-existing bit must survive the OR
+			ref[0] = true
+			OrShiftInto(dst, src, off)
+			for i, want := range ref {
+				if dst.Test(i) != want {
+					t.Fatalf("off=%d n=%d: bit %d = %v, want %v", off, n, i, dst.Test(i), want)
+				}
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"focus/internal/apriori"
 	"focus/internal/txn"
@@ -80,6 +81,71 @@ func (c litsClass) MeasureGCR(m1, m2 *LitsModel, d1, d2 *txn.Dataset, cfg *Confi
 	return regions, nil
 }
 
+// viewPair is one bootstrap worker's reusable replicate state: two weighted
+// views over the shared pool index, recycled through a sync.Pool so a
+// steady-state replicate allocates only its GCR and regions.
+type viewPair struct {
+	v1, v2 *apriori.View
+}
+
+// newReplicate implements the bootstrapper fast path: when the vertical
+// engine is worth it for the pool, replicates draw multiplicity-vector
+// views instead of materializing resampled datasets, mine them through the
+// weighted vertical DFS, and count the GCR through the pool's memoized
+// index. The RNG stream, the integer counts, and hence the replicate
+// deviations are bit-identical to the generic Resample/Induce/MeasureGCR
+// path — pinned by TestQualifyViewBootstrapEquivalence.
+func (c litsClass) newReplicate(pool *txn.Dataset, cfg *Config) (replicateFunc, bool) {
+	if !apriori.UseViewBootstrap(c.counterFor(cfg), pool) {
+		return nil, false
+	}
+	// Build the shared index once, in parallel, before the workers start;
+	// every view then borrows it.
+	apriori.VerticalIndexOf(pool, cfg.Parallelism)
+	var pairs sync.Pool
+	keep := cfg.FocusItemsets
+	minSupport := c.minSupport
+	rep := func(rng *rand.Rand, n1, n2, blockN int, extension bool, f DiffFunc, g AggFunc) float64 {
+		p, _ := pairs.Get().(*viewPair)
+		if p == nil {
+			p = &viewPair{v1: apriori.NewView(pool, 1), v2: apriori.NewView(pool, 1)}
+		}
+		defer pairs.Put(p)
+		p.v1.Draw(n1, rng)
+		if extension {
+			p.v2.Extend(p.v1, blockN, rng)
+		} else {
+			p.v2.Draw(n2, rng)
+		}
+		fs1, err := p.v1.Mine(minSupport)
+		if err != nil {
+			panic(err)
+		}
+		fs2, err := p.v2.Mine(minSupport)
+		if err != nil {
+			panic(err)
+		}
+		gcr := GCRItemsets(&LitsModel{FS: fs1}, &LitsModel{FS: fs2})
+		if keep != nil {
+			kept := gcr[:0]
+			for _, s := range gcr {
+				if keep(s) {
+					kept = append(kept, s)
+				}
+			}
+			gcr = kept
+		}
+		c1 := p.v1.Count(gcr)
+		c2 := p.v2.Count(gcr)
+		regions := make([]MeasuredRegion, len(gcr))
+		for i := range gcr {
+			regions[i] = MeasuredRegion{Alpha1: float64(c1[i]), Alpha2: float64(c2[i])}
+		}
+		return Deviation1(regions, float64(p.v1.N()), float64(p.v2.N()), f, g)
+	}
+	return rep, true
+}
+
 func (c litsClass) NewWindow(parallelism int) (Window[*txn.Dataset, *LitsModel], error) {
 	return &litsWindow{
 		minSupport:  c.minSupport,
@@ -110,29 +176,30 @@ func (litsClass) MeasureGCRWindows(m1, m2 *LitsModel, w1, w2 Window[*txn.Dataset
 
 // internTable assigns dense ids to itemsets, shared by every window of one
 // monitor (live, snapshots, pinned reference). Interning pays one string
-// lookup per itemset per Count call; the per-batch caches are then flat
-// slices indexed by id, so serving a cached count costs a slice read, not
-// a map access per (itemset, batch) pair. The table grows with the
-// distinct candidate itemsets ever counted — bounded in practice by the
-// stable candidate population of the stream.
+// lookup per itemset per Count call — alloc-free in steady state, since
+// the probe key is appended into a reused buffer and only a fresh insert
+// materializes the string — and the per-batch caches are then flat slices
+// indexed by id, so serving a cached count costs a slice read, not a map
+// access per (itemset, batch) pair. The table grows with the distinct
+// candidate itemsets ever counted — bounded in practice by the stable
+// candidate population of the stream.
 type internTable struct {
-	ids map[string]int
+	ids  map[string]int
+	sets []apriori.Itemset // reverse table: id -> itemset
+	key  []byte            // probe-key scratch
 }
 
 func newInternTable() *internTable { return &internTable{ids: make(map[string]int)} }
 
-func (t *internTable) idsOf(sets []apriori.Itemset) []int {
-	out := make([]int, len(sets))
-	for i, s := range sets {
-		k := s.Key()
-		id, ok := t.ids[k]
-		if !ok {
-			id = len(t.ids)
-			t.ids[k] = id
-		}
-		out[i] = id
+func (t *internTable) idOf(s apriori.Itemset) int {
+	t.key = s.AppendKey(t.key[:0])
+	if id, ok := t.ids[string(t.key)]; ok {
+		return id
 	}
-	return out
+	id := len(t.sets)
+	t.ids[string(t.key)] = id
+	t.sets = append(t.sets, s)
+	return id
 }
 
 // litsBatch is the sealed summary of one batch of transactions: the raw
@@ -162,11 +229,16 @@ func (b *litsBatch) grow(n int) {
 
 // litsWindow is a set of batches exposed to Apriori as a count source:
 // pass-1 item counts are maintained incrementally (add on ingest, subtract
-// on expiry), candidate counts are per-batch sums served from the caches,
-// scanning a batch only for itemsets it has not counted before. Counts are
-// integers, so the sums — and everything induced from them — are identical
-// to a full rescan of the window. The item universe is fixed by the first
-// batch added anywhere in the window's clone family.
+// on expiry), and so are full candidate counts — an itemset counted once
+// across every live batch becomes "warm": its window total lives in agg,
+// Add merges only the new batch's delta in, RemoveFront subtracts the
+// expired batch's cached count out, and Count serves it as a slice read
+// without touching the batches at all. Cold itemsets fall back to per-
+// batch sums served from the batch caches, scanning a batch only for
+// itemsets it has not counted before. Counts are integers, so the sums —
+// and everything induced from them — are identical to a full rescan of the
+// window. The item universe is fixed by the first batch added anywhere in
+// the window's clone family.
 type litsWindow struct {
 	minSupport  float64
 	counter     apriori.Counter
@@ -176,6 +248,18 @@ type litsWindow struct {
 	batchList   []*litsBatch
 	items       []int
 	n           int
+	agg         []int  // by id: window-total counts of warm itemsets
+	aggOK       []bool // by id: agg holds the total over every live batch
+	idBuf       []int  // per-Count interned-id scratch
+	wmine       *apriori.WindowMiner
+}
+
+// growAgg extends the aggregate to cover ids below n.
+func (w *litsWindow) growAgg(n int) {
+	for len(w.agg) < n {
+		w.agg = append(w.agg, 0)
+		w.aggOK = append(w.aggOK, false)
+	}
 }
 
 func (w *litsWindow) Add(d *txn.Dataset, parallelism int) error {
@@ -189,11 +273,33 @@ func (w *litsWindow) Add(d *txn.Dataset, parallelism int) error {
 		return fmt.Errorf("core: batch universe %d != window universe %d", d.NumItems, w.numItems)
 	}
 	b := &litsBatch{data: d, items: apriori.ItemCountsWith(d, parallelism, w.counter)}
+	// Delta-merge: count the warm itemsets in the new batch alone and fold
+	// them into the aggregate, preserving the invariant that a warm itemset
+	// is cached in every live batch (RemoveFront subtracts from the cache).
+	var warm []apriori.Itemset
+	var warmIDs []int
+	for id, ok := range w.aggOK {
+		if ok {
+			warm = append(warm, w.intern.sets[id])
+			warmIDs = append(warmIDs, id)
+		}
+	}
+	if len(warm) > 0 {
+		b.grow(len(w.intern.sets))
+		counts := apriori.CountItemsetsC(d, warm, parallelism, w.counter)
+		for j, c := range counts {
+			b.counts[warmIDs[j]] = c
+			w.agg[warmIDs[j]] += c
+		}
+	}
 	w.batchList = append(w.batchList, b)
 	for i, v := range b.items {
 		w.items[i] += v
 	}
 	w.n += d.Len()
+	if w.wmine != nil {
+		w.wmine.Push(d, parallelism)
+	}
 	return nil
 }
 
@@ -204,7 +310,15 @@ func (w *litsWindow) RemoveFront() {
 	for i, v := range b.items {
 		w.items[i] -= v
 	}
+	for id, ok := range w.aggOK {
+		if ok {
+			w.agg[id] -= b.counts[id]
+		}
+	}
 	w.n -= b.data.Len()
+	if w.wmine != nil {
+		w.wmine.Pop()
+	}
 }
 
 func (w *litsWindow) Batches() int { return len(w.batchList) }
@@ -234,10 +348,32 @@ func (w *litsWindow) Clone() Window[*txn.Dataset, *LitsModel] {
 		batchList:   append([]*litsBatch(nil), w.batchList...),
 		items:       append([]int(nil), w.items...),
 		n:           w.n,
+		agg:         append([]int(nil), w.agg...),
+		aggOK:       append([]bool(nil), w.aggOK...),
 	}
 }
 
+// Induce mines the window. Windows that actually mine — the live window,
+// every emission — build an incremental apriori.WindowMiner on first use
+// and keep it in sync through Add/RemoveFront; clones start without one
+// (snapshot references are counted against, not re-mined), and the trie
+// backend (or an outsized universe) falls back to levelwise mining through
+// the window's count source. Both paths produce bit-identical models.
 func (w *litsWindow) Induce() (*LitsModel, error) {
+	if w.wmine == nil && len(w.batchList) > 0 && apriori.UseWindowMiner(w.counter, w.numItems) {
+		wm := apriori.NewWindowMiner(w.numItems)
+		for _, b := range w.batchList {
+			wm.Push(b.data, w.parallelism)
+		}
+		w.wmine = wm
+	}
+	if w.wmine != nil {
+		fs, err := w.wmine.Mine(w.minSupport)
+		if err != nil {
+			return nil, err
+		}
+		return &LitsModel{FS: fs}, nil
+	}
 	fs, err := apriori.MineFrom(w, w.minSupport)
 	if err != nil {
 		return nil, err
@@ -256,19 +392,33 @@ func (w *litsWindow) Count(sets []apriori.Itemset) []int {
 	if len(sets) == 0 {
 		return total
 	}
-	ids := w.intern.idsOf(sets)
+	if cap(w.idBuf) < len(sets) {
+		w.idBuf = make([]int, len(sets))
+	}
+	ids := w.idBuf[:len(sets)]
+	for i, s := range sets {
+		ids[i] = w.intern.idOf(s)
+	}
+	w.growAgg(len(w.intern.sets))
+	var coldIdx []int
+	for i, id := range ids {
+		if w.aggOK[id] {
+			total[i] = w.agg[id]
+		} else {
+			coldIdx = append(coldIdx, i)
+		}
+	}
 	for _, b := range w.batchList {
-		b.grow(len(w.intern.ids))
+		if len(coldIdx) == 0 {
+			break
+		}
+		b.grow(len(w.intern.sets))
 		var missing []apriori.Itemset
 		var missingIdx []int
-		for i, id := range ids {
-			if c := b.counts[id]; c >= 0 {
+		for _, i := range coldIdx {
+			if c := b.counts[ids[i]]; c >= 0 {
 				total[i] += c
 			} else {
-				if missing == nil {
-					missing = make([]apriori.Itemset, 0, len(sets)-i)
-					missingIdx = make([]int, 0, len(sets)-i)
-				}
 				missing = append(missing, sets[i])
 				missingIdx = append(missingIdx, i)
 			}
@@ -283,6 +433,12 @@ func (w *litsWindow) Count(sets []apriori.Itemset) []int {
 				total[i] += c
 			}
 		}
+	}
+	// Every cold itemset is now cached in every live batch: warm it, so the
+	// next Count is a slice read and window advance only merges deltas.
+	for _, i := range coldIdx {
+		w.agg[ids[i]] = total[i]
+		w.aggOK[ids[i]] = true
 	}
 	return total
 }

@@ -63,6 +63,25 @@ type ModelClass[D, M any] interface {
 	MeasureGCRWindows(m1, m2 M, w1, w2 Window[D, M]) ([]MeasuredRegion, error)
 }
 
+// replicateFunc computes one bootstrap replicate's deviation: draw a
+// resample pair of the given sizes from the pool (consuming exactly the
+// RNG stream the generic Resample-based draw would), re-induce both
+// models, measure their GCR, and reduce with f/g. Implementations must be
+// safe for concurrent use — Qualify runs replicates on parallel workers,
+// each with its own rng.
+type replicateFunc func(rng *rand.Rand, n1, n2, blockN int, extension bool, f DiffFunc, g AggFunc) float64
+
+// bootstrapper is an optional fast path a ModelClass may implement:
+// newReplicate returns a replicateFunc that computes a bootstrap replicate
+// without materializing the resampled datasets (the lits class counts
+// through the pool's memoized vertical index with per-worker weighted
+// views), or ok=false to keep the generic Resample/Induce/MeasureGCR path.
+// The replicate values must be bit-identical to the generic path — same
+// RNG consumption, same integer counts, same float64 reduction.
+type bootstrapper[D any] interface {
+	newReplicate(pool D, cfg *Config) (replicateFunc, bool)
+}
+
 // Window is the streaming half of a ModelClass: an incrementally maintained
 // aggregate of sealed batch summaries. Windows are not safe for concurrent
 // use.
@@ -173,10 +192,11 @@ func WithConfig(c Config) Option { return func(dst *Config) { *dst = c } }
 // serial).
 func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n } }
 
-// WithCounter selects the lits counting backend for the pipeline's dataset
-// scans; results are bit-identical for every backend. Monitors take their
-// backend from the model class instead (LitsWithCounter). Unknown backends
-// panic here, at the option site, rather than at the first scan.
+// WithCounter selects the lits vertical-engine backend for the pipeline —
+// counting, mining, and bootstrap views follow the one knob; results are
+// bit-identical for every backend. Monitors take their backend from the
+// model class instead (LitsWithCounter). Unknown backends panic here, at
+// the option site, rather than at the first scan.
 func WithCounter(counter apriori.Counter) Option {
 	apriori.MustCounter(counter)
 	return func(c *Config) { c.Counter = counter }
@@ -342,7 +362,7 @@ func Qualify[D, M any](mc ModelClass[D, M], d1, d2 D, f DiffFunc, g AggFunc, opt
 	}
 	serial := cfg
 	serial.Parallelism = 1
-	null := stats.NullDistributionP(cfg.Replicates, cfg.Parallelism, cfg.Seed, func(rng *rand.Rand) float64 {
+	draw := func(rng *rand.Rand) float64 {
 		// The draw closure runs on concurrent workers: every variable
 		// assigned here must be local to the closure. Errors panic —
 		// resamples of the validated inputs cannot fail where the observed
@@ -371,7 +391,15 @@ func Qualify[D, M any](mc ModelClass[D, M], d1, d2 D, f DiffFunc, g AggFunc, opt
 			panic(rerr)
 		}
 		return Deviation1(regs, float64(mc.Len(r1)), float64(mc.Len(r2)), f, g)
-	})
+	}
+	if fast, ok := any(mc).(bootstrapper[D]); ok {
+		if rep, ok := fast.newReplicate(pool, &cfg); ok {
+			draw = func(rng *rand.Rand) float64 {
+				return rep(rng, n1, n2, blockN, cfg.Extension, f, g)
+			}
+		}
+	}
+	null := stats.NullDistributionP(cfg.Replicates, cfg.Parallelism, cfg.Seed, draw)
 	return Qualification{
 		Deviation:    observed,
 		Significance: stats.Significance(observed, null),

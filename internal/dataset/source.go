@@ -94,6 +94,12 @@ func (src *CSVSource) Next(ctx context.Context) (*Dataset, error) {
 	}
 	s := src.schema
 	batch := New(s)
+	batch.Tuples = make([]Tuple, 0, SourceBatchRows)
+	// One value arena per batch: tuples are carved out of a single block
+	// instead of allocated row by row. The arena travels with the batch (its
+	// tuples reference it), so each Next gets a fresh one.
+	width := len(s.Attrs)
+	arena := make([]float64, SourceBatchRows*width)
 	for len(batch.Tuples) < SourceBatchRows {
 		rec, err := src.cr.Read()
 		if err == io.EOF {
@@ -104,7 +110,8 @@ func (src *CSVSource) Next(ctx context.Context) (*Dataset, error) {
 			src.err = fmt.Errorf("dataset: reading CSV line %d: %w", src.line, err)
 			return nil, src.err
 		}
-		t := make(Tuple, len(rec))
+		t := Tuple(arena[:width:width])
+		arena = arena[width:]
 		for j, field := range rec {
 			if m := src.decode[j]; m != nil {
 				v, ok := m[field]
@@ -173,6 +180,10 @@ func (src *JSONLSource) Next(ctx context.Context) (*Dataset, error) {
 		return nil, err
 	}
 	batch := New(src.schema)
+	batch.Tuples = make([]Tuple, 0, SourceBatchRows)
+	// Same per-batch tuple arena as CSVSource.Next.
+	width := len(src.schema.Attrs)
+	arena := make([]float64, SourceBatchRows*width)
 	for len(batch.Tuples) < SourceBatchRows {
 		if !src.sc.Scan() {
 			if err := src.sc.Err(); err != nil {
@@ -187,8 +198,9 @@ func (src *JSONLSource) Next(ctx context.Context) (*Dataset, error) {
 		if len(trimSpace(text)) == 0 {
 			continue
 		}
-		t, err := src.dec.Decode(text)
-		if err != nil {
+		t := Tuple(arena[:width:width])
+		arena = arena[width:]
+		if err := src.dec.decodeInto(text, t); err != nil {
 			src.err = fmt.Errorf("dataset: JSONL line %d: %w", src.line, err)
 			return nil, src.err
 		}
@@ -242,52 +254,61 @@ func NewTupleDecoder(s *Schema) *TupleDecoder {
 // strings. Every attribute of the schema must be present and no other keys
 // are allowed.
 func (td *TupleDecoder) Decode(data []byte) (Tuple, error) {
+	t := make(Tuple, len(td.schema.Attrs))
+	if err := td.decodeInto(data, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// decodeInto decodes one JSON row object into t, which must have one slot
+// per schema attribute (row streams carve t out of a batch arena).
+func (td *TupleDecoder) decodeInto(data []byte, t Tuple) error {
 	s := td.schema
 	var row map[string]json.RawMessage
 	if err := json.Unmarshal(data, &row); err != nil {
-		return nil, err
+		return err
 	}
-	t := make(Tuple, len(s.Attrs))
 	for j := range s.Attrs {
 		a := &s.Attrs[j]
 		raw, ok := row[a.Name]
 		if !ok {
-			return nil, fmt.Errorf("missing attribute %q", a.Name)
+			return fmt.Errorf("missing attribute %q", a.Name)
 		}
 		if m := td.decode[j]; m != nil {
 			var name string
 			if err := json.Unmarshal(raw, &name); err != nil {
-				return nil, fmt.Errorf("attribute %q: %w", a.Name, err)
+				return fmt.Errorf("attribute %q: %w", a.Name, err)
 			}
 			v, ok := m[name]
 			if !ok {
-				return nil, fmt.Errorf("unknown value %q for attribute %q", name, a.Name)
+				return fmt.Errorf("unknown value %q for attribute %q", name, a.Name)
 			}
 			t[j] = v
 			continue
 		}
 		var v float64
 		if err := json.Unmarshal(raw, &v); err != nil {
-			return nil, fmt.Errorf("attribute %q: %w", a.Name, err)
+			return fmt.Errorf("attribute %q: %w", a.Name, err)
 		}
 		// JSON numbers cannot encode NaN/Inf, but guard anyway so the
 		// validated-output invariant never depends on the decoder.
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("attribute %q: value is not finite", a.Name)
+			return fmt.Errorf("attribute %q: value is not finite", a.Name)
 		}
 		if !a.Contains(v) {
-			return nil, fmt.Errorf("attribute %q: value %v outside domain", a.Name, v)
+			return fmt.Errorf("attribute %q: value %v outside domain", a.Name, v)
 		}
 		t[j] = v
 	}
 	if len(row) != len(s.Attrs) {
 		for name := range row {
 			if s.AttrIndex(name) < 0 {
-				return nil, fmt.Errorf("unknown attribute %q", name)
+				return fmt.Errorf("unknown attribute %q", name)
 			}
 		}
 	}
-	return t, nil
+	return nil
 }
 
 // UnmarshalTupleJSON decodes one JSON row object into a validated tuple on

@@ -76,12 +76,13 @@ func Chunked[D Sliceable[D]](src Source[D], size int) Source[D] {
 }
 
 type chunked[D Sliceable[D]] struct {
-	src  Source[D]
-	size int
-	q    []D // buffered source batches; q[0] consumed from off
-	off  int // rows of q[0] already emitted
-	n    int // total buffered rows not yet emitted
-	err  error
+	src   Source[D]
+	size  int
+	q     []D // buffered source batches; q[0] consumed from off
+	off   int // rows of q[0] already emitted
+	n     int // total buffered rows not yet emitted
+	parts []D // chunk-assembly scratch, reused across calls
+	err   error
 }
 
 func (c *chunked[D]) Next(ctx context.Context) (D, error) {
@@ -121,7 +122,7 @@ func (c *chunked[D]) Next(ctx context.Context) (D, error) {
 		want = c.n // trailing partial chunk ahead of the EOF
 	}
 	// Assemble want rows from the front of the queue.
-	parts := make([]D, 0, 2)
+	parts := c.parts[:0]
 	for want > 0 {
 		head := c.q[0]
 		avail := head.Len() - c.off
@@ -139,6 +140,12 @@ func (c *chunked[D]) Next(ctx context.Context) (D, error) {
 		}
 	}
 	out, err := merge(parts)
+	// Keep the scratch but drop its batch references so emitted chunks are
+	// the only thing keeping decoded rows alive.
+	for i := range parts {
+		parts[i] = zero
+	}
+	c.parts = parts[:0]
 	if err != nil {
 		// Incompatible batches (schema/universe mismatch) are terminal.
 		c.err = err

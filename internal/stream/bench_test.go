@@ -56,7 +56,7 @@ func BenchmarkLitsRebuildFromScratch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := core.LitsDeviation(refModel, m2, ref, winData, core.AbsoluteDiff, core.Sum, core.LitsOptions{Parallelism: 1}); err != nil {
+		if _, err := core.Deviation(core.Lits(minSupport), refModel, m2, ref, winData, core.AbsoluteDiff, core.Sum, core.WithParallelism(1)); err != nil {
 			b.Fatal(err)
 		}
 	}

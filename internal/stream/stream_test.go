@@ -217,7 +217,7 @@ func TestLitsMonitorEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					want, err := core.LitsDeviation(m1, m2, refData, winData, fg.f, fg.g, core.LitsOptions{Parallelism: par})
+					want, err := core.Deviation(core.Lits(minSupport), m1, m2, refData, winData, fg.f, fg.g, core.WithParallelism(par))
 					if err != nil {
 						t.Fatal(err)
 					}
