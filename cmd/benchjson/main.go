@@ -12,6 +12,14 @@
 // the JSON. CI's bench-delta step uses it to pin the benchmarks a PR
 // promises (e.g. the counting-backend pair), so a renamed or deleted
 // benchmark fails loudly instead of silently vanishing from the trajectory.
+//
+// The -order flag takes a comma-separated list of "Faster<=Slower" pairs
+// and fails (after writing the JSON) when the left benchmark's ns/op
+// exceeds the right's. CI uses it to pin performance *relationships* the
+// repo promises — e.g. that the incremental monitor path beats rebuilding
+// from scratch — so a regression that silently inverts the trade-off a
+// subsystem exists for fails the build even though both numbers are
+// "valid".
 package main
 
 import (
@@ -36,8 +44,9 @@ type result struct {
 
 func main() {
 	require := flag.String("require", "", "comma-separated benchmark names that must be present")
+	order := flag.String("order", "", `comma-separated "Faster<=Slower" ns/op orderings that must hold`)
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, splitRequire(*require)); err != nil {
+	if err := run(os.Stdin, os.Stdout, splitRequire(*require), splitRequire(*order)); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -54,7 +63,7 @@ func splitRequire(s string) []string {
 	return out
 }
 
-func run(r io.Reader, w io.Writer, require []string) error {
+func run(r io.Reader, w io.Writer, require, order []string) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	results := make(map[string]result)
@@ -137,30 +146,60 @@ func run(r io.Reader, w io.Writer, require []string) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	// A required name matches a result key exactly or as its benchmark-name
-	// component (keys are "pkg.BenchmarkName-GOMAXPROCS").
 	var missing []string
 	for _, want := range require {
-		found := false
-		for name := range results {
-			base := name
-			if i := strings.LastIndex(base, "."); i >= 0 {
-				base = base[i+1:]
-			}
-			if i := strings.LastIndex(base, "-"); i >= 0 {
-				base = base[:i]
-			}
-			if name == want || base == want {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if len(resolve(results, want)) == 0 {
 			missing = append(missing, want)
 		}
 	}
 	if len(missing) > 0 {
 		return fmt.Errorf("required benchmarks missing from input: %s", strings.Join(missing, ", "))
+	}
+	return checkOrder(results, order)
+}
+
+// resolve returns the result keys a name addresses: an exact key match, or
+// a match on the benchmark-name component (keys are
+// "pkg.BenchmarkName-GOMAXPROCS").
+func resolve(results map[string]result, want string) []string {
+	var keys []string
+	for name := range results {
+		base := name
+		if i := strings.LastIndex(base, "."); i >= 0 {
+			base = base[i+1:]
+		}
+		if i := strings.LastIndex(base, "-"); i >= 0 {
+			base = base[:i]
+		}
+		if name == want || base == want {
+			keys = append(keys, name)
+		}
+	}
+	return keys
+}
+
+// checkOrder validates every "Faster<=Slower" pair against the parsed
+// ns/op values. Each side must resolve to exactly one benchmark —
+// ambiguity (a name matching several parameterized variants) is an error,
+// not a guess.
+func checkOrder(results map[string]result, order []string) error {
+	for _, pair := range order {
+		faster, slower, ok := strings.Cut(pair, "<=")
+		if !ok {
+			return fmt.Errorf("malformed -order pair %q (want Faster<=Slower)", pair)
+		}
+		faster, slower = strings.TrimSpace(faster), strings.TrimSpace(slower)
+		fk, sk := resolve(results, faster), resolve(results, slower)
+		if len(fk) != 1 {
+			return fmt.Errorf("-order name %q matches %d benchmarks, want exactly 1", faster, len(fk))
+		}
+		if len(sk) != 1 {
+			return fmt.Errorf("-order name %q matches %d benchmarks, want exactly 1", slower, len(sk))
+		}
+		fns, sns := results[fk[0]].NsPerOp, results[sk[0]].NsPerOp
+		if fns > sns {
+			return fmt.Errorf("ordering violated: %s (%.0f ns/op) > %s (%.0f ns/op)", fk[0], fns, sk[0], sns)
+		}
 	}
 	return nil
 }

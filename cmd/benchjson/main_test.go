@@ -19,7 +19,7 @@ PASS
 ok  	focus	1.2s
 `
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out, nil); err != nil {
+	if err := run(strings.NewReader(input), &out, nil, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var got map[string]struct {
@@ -59,7 +59,7 @@ BenchmarkX/rows-1000      	      10	    111 ns/op
 BenchmarkX/rows-20000     	      10	    222 ns/op
 `
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out, nil); err != nil {
+	if err := run(strings.NewReader(input), &out, nil, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var got map[string]map[string]any
@@ -73,7 +73,7 @@ BenchmarkX/rows-20000     	      10	    222 ns/op
 
 func TestBenchJSONEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\n"), &out, nil); err == nil {
+	if err := run(strings.NewReader("PASS\n"), &out, nil, nil); err == nil {
 		t.Fatal("no benchmarks accepted silently")
 	}
 }
@@ -86,15 +86,15 @@ BenchmarkCountTrie-8     	      10	    111 ns/op
 BenchmarkCountBitmap-8   	      10	     22 ns/op
 `
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out, []string{"BenchmarkCountTrie", "BenchmarkCountBitmap"}); err != nil {
+	if err := run(strings.NewReader(input), &out, []string{"BenchmarkCountTrie", "BenchmarkCountBitmap"}, nil); err != nil {
 		t.Fatalf("required benchmarks present, but run failed: %v", err)
 	}
 	out.Reset()
-	if err := run(strings.NewReader(input), &out, []string{"focus.BenchmarkCountTrie-8"}); err != nil {
+	if err := run(strings.NewReader(input), &out, []string{"focus.BenchmarkCountTrie-8"}, nil); err != nil {
 		t.Fatalf("full-key requirement failed: %v", err)
 	}
 	out.Reset()
-	err := run(strings.NewReader(input), &out, []string{"BenchmarkCountTrie", "BenchmarkGone"})
+	err := run(strings.NewReader(input), &out, []string{"BenchmarkCountTrie", "BenchmarkGone"}, nil)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
 		t.Fatalf("missing requirement not reported: %v", err)
 	}
@@ -102,6 +102,43 @@ BenchmarkCountBitmap-8   	      10	     22 ns/op
 	// has something to show even on a failed delta.
 	if !strings.Contains(out.String(), "BenchmarkCountTrie") {
 		t.Fatal("JSON not written before the requirement failure")
+	}
+}
+
+// TestBenchJSONOrder pins the ordering contract: a "Faster<=Slower" pair
+// passes when ns/op agrees, fails loudly when inverted, and rejects names
+// that are missing or ambiguous.
+func TestBenchJSONOrder(t *testing.T) {
+	input := `pkg: focus
+BenchmarkIncremental-8   	      10	    111 ns/op
+BenchmarkRebuild-8       	      10	    222 ns/op
+BenchmarkX/rows-1000     	      10	     11 ns/op
+BenchmarkX/rows-20000    	      10	     22 ns/op
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out, nil, []string{"BenchmarkIncremental<=BenchmarkRebuild"}); err != nil {
+		t.Fatalf("holding ordering rejected: %v", err)
+	}
+	out.Reset()
+	err := run(strings.NewReader(input), &out, nil, []string{"BenchmarkRebuild<=BenchmarkIncremental"})
+	if err == nil || !strings.Contains(err.Error(), "ordering violated") {
+		t.Fatalf("inverted ordering not reported: %v", err)
+	}
+	// The JSON still lands before the failure, like -require.
+	if !strings.Contains(out.String(), "BenchmarkRebuild") {
+		t.Fatal("JSON not written before the ordering failure")
+	}
+	out.Reset()
+	if err := run(strings.NewReader(input), &out, nil, []string{"BenchmarkIncremental<=BenchmarkGone"}); err == nil {
+		t.Fatal("missing ordering name accepted")
+	}
+	out.Reset()
+	if err := run(strings.NewReader(input), &out, nil, []string{"BenchmarkX/rows<=BenchmarkRebuild"}); err == nil {
+		t.Fatal("ambiguous ordering name accepted")
+	}
+	out.Reset()
+	if err := run(strings.NewReader(input), &out, nil, []string{"BenchmarkIncremental<BenchmarkRebuild"}); err == nil {
+		t.Fatal("malformed ordering pair accepted")
 	}
 }
 

@@ -43,8 +43,11 @@ func (r *Registry) Handler() http.Handler {
 		names := r.Names()
 		states := make([]SessionState, 0, len(names))
 		for _, name := range names {
+			// A session deleted between Names and State is simply omitted.
 			if s, ok := r.Get(name); ok {
-				states = append(states, s.State())
+				if st, err := s.State(); err == nil {
+					states = append(states, st)
+				}
 			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": states})
@@ -60,7 +63,12 @@ func (r *Registry) Handler() http.Handler {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, s.State())
+		st, err := s.State()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
 	})
 	mux.HandleFunc("GET /v1/sessions/{name}", func(w http.ResponseWriter, req *http.Request) {
 		s, err := r.session(req)
@@ -68,7 +76,12 @@ func (r *Registry) Handler() http.Handler {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.State())
+		st, err := s.State()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("DELETE /v1/sessions/{name}", func(w http.ResponseWriter, req *http.Request) {
 		if !r.Delete(req.PathValue("name")) {
@@ -105,7 +118,11 @@ func (r *Registry) Handler() http.Handler {
 			writeError(w, err)
 			return
 		}
-		reports, alerts := s.Reports()
+		reports, alerts, err := s.Reports()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, reportsResponse{Reports: reports, Alerts: alerts})
 	})
 	return mux

@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"focus/internal/dataset"
+	"focus/internal/txn"
+	"focus/internal/wal"
+)
+
+// This file is the durability layer of the registry: per-session snapshots
+// plus a write-ahead log, compacted in generations, replayed on boot.
+//
+// Layout under the data directory:
+//
+//	<data>/sessions/<name>/snapshot.json   config + (after compaction) state
+//	<data>/sessions/<name>/wal.<gen>.log   batches fed since the snapshot
+//
+// A session's durable state is always (snapshot, WAL generation named by
+// the snapshot): Create writes a config-only snapshot and an empty
+// generation-1 WAL; every Feed appends its batch to the WAL before
+// ingestion; compaction reseals the accumulated WAL into a new snapshot
+// carrying the monitor's window state and the report ring, pointing at the
+// next WAL generation. Recovery rebuilds the session from the snapshot
+// (bind from config, reinstate window state) and replays the snapshot's
+// WAL generation through the normal intake path — deterministic, so the
+// restored session's State and Reports are bit-identical to an
+// uninterrupted run.
+//
+// Crash windows resolve by the write order. The new WAL generation is
+// created before the snapshot naming it is renamed into place, and the old
+// generation is removed only after: whichever snapshot survives, the
+// generation it names exists and holds exactly the records not yet baked
+// into it; stale generations are swept on boot. Snapshots are written to a
+// temporary file, fsynced and renamed, so a torn snapshot write leaves the
+// previous one intact. WAL appends reach the kernel before the feed is
+// acknowledged, so a SIGKILL never loses an acknowledged batch; torn
+// trailing records from a crashed append are dropped by wal.Open.
+
+// snapshotVersion is the on-disk snapshot format version.
+const snapshotVersion = 1
+
+// snapshotFile is the per-session snapshot name.
+const snapshotFile = "snapshot.json"
+
+// DefaultCompactEvery is the default WAL replay debt, in records, at which
+// a session compacts its log into a fresh snapshot.
+const DefaultCompactEvery = 256
+
+// Store roots the durable state of a registry. Open one through
+// OpenRegistry.
+type Store struct {
+	dir          string
+	compactEvery int
+}
+
+// sessionStore is one session's durable state handle. Its methods are
+// called under the session lock.
+type sessionStore struct {
+	dir          string
+	gen          uint64
+	w            *wal.Writer
+	records      int // records in the current WAL generation
+	compactEvery int
+}
+
+// snapshotJSON is the on-disk snapshot: the session's create config
+// (verbatim, so the model class is rebuilt deterministically) and — once a
+// compaction has run — the monitor window state and report ring at the
+// point the WAL was resealed.
+type snapshotJSON struct {
+	Version int `json:"version"`
+	// WALGen names the WAL generation holding the feeds after this
+	// snapshot.
+	WALGen  uint64            `json:"wal_gen"`
+	Config  json.RawMessage   `json:"config"`
+	Monitor *monitorStateJSON `json:"monitor,omitempty"`
+	Reports []ReportJSON      `json:"reports,omitempty"`
+	Alerts  int               `json:"alerts,omitempty"`
+	Last    *ReportJSON       `json:"last,omitempty"`
+}
+
+// monitorStateJSON is the wire form of stream.MonitorState: window batches
+// as row payloads in the session's own rows format.
+type monitorStateJSON struct {
+	Epoch   int64             `json:"epoch"`
+	Seq     int               `json:"seq"`
+	Epochs  []int64           `json:"epochs,omitempty"`
+	Batches []json.RawMessage `json:"batches,omitempty"`
+	RefRows json.RawMessage   `json:"ref_rows,omitempty"`
+}
+
+// walRecord is one logged feed, exactly the fields of the feed request.
+type walRecord struct {
+	Epoch *int64          `json:"epoch,omitempty"`
+	Rows  json.RawMessage `json:"rows"`
+}
+
+// OpenRegistry opens (initializing if empty) a durable registry rooted at
+// dir, restoring every persisted session by rebuilding it from its
+// snapshot and replaying its WAL. compactEvery is the per-session WAL
+// record count that triggers compaction (<= 0 uses DefaultCompactEvery).
+// Sessions that fail to restore are skipped — their files are left on disk
+// for inspection — and reported in warnings; the registry itself opens as
+// long as the directory is usable.
+func OpenRegistry(dir string, compactEvery int) (r *Registry, warnings []error, err error) {
+	if compactEvery <= 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	r = NewRegistry()
+	r.store = &Store{dir: dir, compactEvery: compactEvery}
+	root := filepath.Join(dir, "sessions")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Deterministic restore order (ReadDir sorts, but make it explicit).
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if err := r.restoreSession(filepath.Join(root, e.Name())); err != nil {
+			warnings = append(warnings, fmt.Errorf("session %q: %w", e.Name(), err))
+		}
+	}
+	return r, warnings, nil
+}
+
+// restoreSession rebuilds one session from its directory and publishes it.
+func (r *Registry) restoreSession(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return fmt.Errorf("reading snapshot: %w", err)
+	}
+	var snap snapshotJSON
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("snapshot version %d not supported", snap.Version)
+	}
+	var cfg SessionConfig
+	if err := json.Unmarshal(snap.Config, &cfg); err != nil {
+		return fmt.Errorf("decoding session config: %w", err)
+	}
+	if err := validName(cfg.Name); err != nil {
+		return err
+	}
+	if cfg.Name != filepath.Base(dir) {
+		return fmt.Errorf("snapshot names session %q", cfg.Name)
+	}
+
+	s, err := r.bind(cfg)
+	if err != nil {
+		return fmt.Errorf("rebinding: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap.Monitor != nil {
+		if err := s.restoreMonitor(snap.Monitor); err != nil {
+			return fmt.Errorf("restoring window state: %w", err)
+		}
+	}
+	s.reports, s.alerts, s.last = snap.Reports, snap.Alerts, snap.Last
+
+	w, recs, err := wal.Open(walPath(dir, snap.WALGen))
+	if err != nil {
+		return fmt.Errorf("opening wal: %w", err)
+	}
+	for i, rec := range recs {
+		var wr walRecord
+		if err := json.Unmarshal(rec, &wr); err != nil {
+			// Undecodable payloads cannot have been written by appendFeed;
+			// treat like wal corruption: stop replaying.
+			w.Close()
+			return fmt.Errorf("wal record %d: %w", i, err)
+		}
+		// Replay through the normal intake path. A record that fails here
+		// failed identically when it was first fed (the WAL is written
+		// before ingestion), so a replay failure re-establishes, not
+		// diverges from, the pre-crash state.
+		s.feedLocked(wr.Epoch, wr.Rows) //nolint:errcheck
+	}
+	removeStaleWALs(dir, snap.WALGen)
+	s.store = &sessionStore{
+		dir:          dir,
+		gen:          snap.WALGen,
+		w:            w,
+		records:      len(recs),
+		compactEvery: r.store.compactEvery,
+	}
+	// A boot that replayed a long log compacts immediately, so the next
+	// boot starts from the resealed snapshot.
+	if s.store.shouldCompact() {
+		s.compactLocked()
+	}
+
+	r.mu.Lock()
+	r.sessions[cfg.Name] = s
+	r.mu.Unlock()
+	return nil
+}
+
+// sessionDir is the directory of one session's durable state.
+func (st *Store) sessionDir(name string) string {
+	return filepath.Join(st.dir, "sessions", name)
+}
+
+// create initializes the durable state of a new session: its directory, a
+// config-only snapshot, and an empty generation-1 WAL. Stale files from a
+// crashed earlier incarnation of the name are swept first.
+func (st *Store) create(cfg *SessionConfig) (*sessionStore, error) {
+	dir := st.sessionDir(cfg.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	removeStaleWALs(dir, 0)
+	rawCfg, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap := snapshotJSON{Version: snapshotVersion, WALGen: 1, Config: rawCfg}
+	if err := writeSnapshot(dir, &snap); err != nil {
+		return nil, err
+	}
+	w, recs, err := wal.Open(walPath(dir, 1))
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 {
+		// Cannot happen: the sweep above removed every generation.
+		w.Close()
+		return nil, fmt.Errorf("fresh wal for %q holds %d records", cfg.Name, len(recs))
+	}
+	return &sessionStore{dir: dir, gen: 1, w: w, compactEvery: st.compactEvery}, nil
+}
+
+// remove deletes the named session's durable state.
+func (st *Store) remove(name string) {
+	os.RemoveAll(st.sessionDir(name))
+}
+
+// appendFeed logs one feed ahead of its ingestion.
+func (ss *sessionStore) appendFeed(epoch *int64, rows json.RawMessage) error {
+	if ss.w == nil {
+		return fmt.Errorf("wal unavailable")
+	}
+	rec, err := json.Marshal(walRecord{Epoch: epoch, Rows: rows})
+	if err != nil {
+		return err
+	}
+	if err := ss.w.Append(rec); err != nil {
+		return err
+	}
+	ss.records++
+	return nil
+}
+
+// shouldCompact reports whether the WAL replay debt crossed the threshold.
+func (ss *sessionStore) shouldCompact() bool {
+	return ss.records >= ss.compactEvery
+}
+
+// close flushes and closes the WAL.
+func (ss *sessionStore) close() {
+	if ss.w != nil {
+		ss.w.Close()
+		ss.w = nil
+	}
+}
+
+// compactLocked reseals the session's WAL into a fresh snapshot carrying
+// the monitor window state and report ring, then rotates to the next WAL
+// generation. Callers hold s.mu; failures leave the current snapshot+WAL
+// pair intact (the log keeps growing until a later compaction succeeds).
+func (s *Session) compactLocked() {
+	ss := s.store
+	ms, err := s.exportMonitor()
+	if err != nil {
+		return
+	}
+	// The config travels snapshot-to-snapshot as raw bytes rather than
+	// being pinned in memory for the session's lifetime.
+	prevRaw, err := os.ReadFile(filepath.Join(ss.dir, snapshotFile))
+	if err != nil {
+		return
+	}
+	var prev snapshotJSON
+	if err := json.Unmarshal(prevRaw, &prev); err != nil {
+		return
+	}
+	newGen := ss.gen + 1
+	// Create the next generation before publishing the snapshot that names
+	// it: a crash in between leaves an extra empty log, never a snapshot
+	// whose generation is missing records.
+	nw, recs, err := wal.Open(walPath(ss.dir, newGen))
+	if err != nil {
+		return
+	}
+	if len(recs) > 0 {
+		// A stale file from a crashed earlier compaction: start it over.
+		nw.Close()
+		if err := os.Remove(walPath(ss.dir, newGen)); err != nil {
+			return
+		}
+		if nw, _, err = wal.Open(walPath(ss.dir, newGen)); err != nil {
+			return
+		}
+	}
+	snap := snapshotJSON{
+		Version: snapshotVersion,
+		WALGen:  newGen,
+		Config:  prev.Config,
+		Monitor: ms,
+		Reports: s.reports,
+		Alerts:  s.alerts,
+		Last:    s.last,
+	}
+	if err := writeSnapshot(ss.dir, &snap); err != nil {
+		nw.Close()
+		os.Remove(walPath(ss.dir, newGen))
+		return
+	}
+	ss.w.Close()
+	os.Remove(walPath(ss.dir, ss.gen))
+	ss.gen, ss.w, ss.records = newGen, nw, 0
+}
+
+// writeSnapshot atomically replaces the session snapshot: temp file,
+// fsync, rename.
+func writeSnapshot(dir string, snap *snapshotJSON) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, snapshotFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, filepath.Join(dir, snapshotFile)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// walPath names a WAL generation file.
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal.%06d.log", gen))
+}
+
+// removeStaleWALs sweeps WAL generations other than keep (0 keeps none)
+// and leftover snapshot temp files.
+func removeStaleWALs(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keepName := ""
+	if keep > 0 {
+		keepName = filepath.Base(walPath(dir, keep))
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := strings.HasPrefix(name, "wal.") && strings.HasSuffix(name, ".log") && name != keepName ||
+			strings.HasPrefix(name, snapshotFile+".tmp-")
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// encodeTxnRows renders a transaction batch in the lits rows wire format
+// ([[id, ...], ...]); decodeTxnRows reads it back bit-identically (the
+// retained transactions are already normalized).
+func encodeTxnRows(d *txn.Dataset) (json.RawMessage, error) {
+	if len(d.Txns) == 0 {
+		return json.RawMessage("[]"), nil
+	}
+	return json.Marshal(d.Txns)
+}
+
+// encodeTupleRows renders a tuple batch in the dt/cluster rows wire format
+// ([{attr: value, ...}, ...]) using the exact per-row rendering of
+// WriteJSONL — categorical values by name, numeric values at full float64
+// precision — so tupleRowDecoder reads it back bit-identically.
+func encodeTupleRows(d *dataset.Dataset) (json.RawMessage, error) {
+	var b bytes.Buffer
+	if err := d.WriteJSONL(&b); err != nil {
+		return nil, err
+	}
+	lines := bytes.Split(bytes.TrimRight(b.Bytes(), "\n"), []byte{'\n'})
+	out := make([]byte, 0, b.Len()+len(lines)+2)
+	out = append(out, '[')
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, line...)
+	}
+	out = append(out, ']')
+	return out, nil
+}

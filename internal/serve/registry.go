@@ -32,17 +32,24 @@ import (
 const DefaultMaxReports = 256
 
 // Registry is a multi-tenant collection of named monitor sessions. Create
-// one with NewRegistry; it is safe for concurrent use.
+// one with NewRegistry (in-memory) or OpenRegistry (durable); it is safe
+// for concurrent use.
 type Registry struct {
 	mu         sync.RWMutex
 	sessions   map[string]*Session
+	reserved   map[string]struct{} // names mid-Create: bound outside the lock
 	maxReports int
+	store      *Store // nil: sessions live and die with the process
 }
 
-// NewRegistry returns an empty registry retaining DefaultMaxReports recent
-// reports per session.
+// NewRegistry returns an empty in-memory registry retaining
+// DefaultMaxReports recent reports per session.
 func NewRegistry() *Registry {
-	return &Registry{sessions: make(map[string]*Session), maxReports: DefaultMaxReports}
+	return &Registry{
+		sessions:   make(map[string]*Session),
+		reserved:   make(map[string]struct{}),
+		maxReports: DefaultMaxReports,
+	}
 }
 
 // Session is one named monitor session. Its intake and queries are safe for
@@ -52,12 +59,19 @@ type Session struct {
 	model string
 
 	mu      sync.Mutex
+	closed  bool // deleted: feeds and queries answer 404, nothing persists
 	ingest  func(epoch *int64, rows json.RawMessage) (*stream.Report, error)
 	state   func() (epoch int64, batches, n, reports int)
 	last    *ReportJSON
 	reports []ReportJSON // ring of recent emissions, oldest first
 	alerts  int
 	max     int
+
+	store *sessionStore // nil: in-memory session
+	// exportMonitor and restoreMonitor bridge the generic monitor state to
+	// its JSON snapshot form; bindSession installs them per model class.
+	exportMonitor  func() (*monitorStateJSON, error)
+	restoreMonitor func(*monitorStateJSON) error
 }
 
 // Name returns the session name.
@@ -70,10 +84,62 @@ func (s *Session) Model() string { return s.model }
 // the session under cfg.Name. It fails with a client error (statusError 400)
 // on any invalid configuration, schema, or reference payload, and with 409
 // when the name is taken.
+//
+// The name is reserved under the registry lock before the expensive bind —
+// growing a pinned DT tree or mining a lits reference can dwarf the
+// request parse — so a duplicate create 409s immediately instead of
+// burning a full model build first, and two racing creates of one name do
+// the work exactly once. The bind itself runs outside the lock; the name
+// is published on success and released on any failure.
 func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 	if err := validName(cfg.Name); err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
+	if _, ok := r.sessions[cfg.Name]; ok {
+		r.mu.Unlock()
+		return nil, duplicate(cfg.Name)
+	}
+	if _, ok := r.reserved[cfg.Name]; ok {
+		r.mu.Unlock()
+		return nil, duplicate(cfg.Name)
+	}
+	r.reserved[cfg.Name] = struct{}{}
+	r.mu.Unlock()
+	unreserve := func() {
+		r.mu.Lock()
+		delete(r.reserved, cfg.Name)
+		r.mu.Unlock()
+	}
+
+	s, err := r.bind(cfg)
+	if err != nil {
+		unreserve()
+		return nil, err
+	}
+	if r.store != nil {
+		ss, err := r.store.create(&cfg)
+		if err != nil {
+			unreserve()
+			return nil, fmt.Errorf("persisting session %q: %w", cfg.Name, err)
+		}
+		s.store = ss
+	}
+	r.mu.Lock()
+	delete(r.reserved, cfg.Name)
+	r.sessions[cfg.Name] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+func duplicate(name string) error {
+	return &statusError{code: 409, msg: fmt.Sprintf("session %q already exists", name)}
+}
+
+// bind builds the session's model class, monitor and codec closures from a
+// validated-name config — the expensive part of Create, run outside the
+// registry lock.
+func (r *Registry) bind(cfg SessionConfig) (*Session, error) {
 	s := &Session{name: cfg.Name, model: cfg.Model, max: r.maxReports}
 	var err error
 	switch cfg.Model {
@@ -89,12 +155,6 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.sessions[cfg.Name]; ok {
-		return nil, &statusError{code: 409, msg: fmt.Sprintf("session %q already exists", cfg.Name)}
-	}
-	r.sessions[cfg.Name] = s
 	return s, nil
 }
 
@@ -128,13 +188,53 @@ func (r *Registry) Get(name string) (*Session, bool) {
 	return s, ok
 }
 
-// Delete removes the named session, reporting whether it existed.
+// Delete removes the named session, reporting whether it existed. The
+// session is closed under its own lock before its durable state is
+// removed, so an in-flight Feed either completes entirely before the
+// delete or observes the closed flag and 404s — a feed can never mutate
+// the monitor, the report ring, or the write-ahead log of a deleted
+// session.
 func (r *Registry) Delete(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.sessions[name]
+	s, ok := r.sessions[name]
 	delete(r.sessions, name)
-	return ok
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.close()
+	if r.store != nil {
+		r.store.remove(name)
+	}
+	return true
+}
+
+// close marks the session deleted and releases its durable state handle.
+func (s *Session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.store != nil {
+		s.store.close()
+		s.store = nil
+	}
+}
+
+// Close flushes and closes the durable state of every session. It is the
+// graceful-shutdown hook of a durable registry (focusd calls it after the
+// HTTP server drains); sessions refuse intake afterwards. In-memory
+// registries have nothing to flush.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+	for _, s := range sessions {
+		s.close()
+	}
+	return nil
 }
 
 // Names returns the registered session names, sorted.
@@ -188,9 +288,11 @@ func monitorConfig(cfg *SessionConfig) (core.Config, error) {
 }
 
 // bindSession wires a monitor of any model class into the session's
-// dynamically-typed intake and state closures — the one generic-to-JSON
-// boundary of the serving layer.
-func bindSession[D, M any](s *Session, mc core.ModelClass[D, M], ref D, hasRef bool, mcfg core.Config, decode func(json.RawMessage) (D, error)) error {
+// dynamically-typed intake, state and persistence closures — the one
+// generic-to-JSON boundary of the serving layer. decode turns wire rows
+// into a batch; encode is its inverse (rows that decode back to a
+// bit-identical batch), used to snapshot window state during compaction.
+func bindSession[D, M any](s *Session, mc core.ModelClass[D, M], ref D, hasRef bool, mcfg core.Config, decode func(json.RawMessage) (D, error), encode func(D) (json.RawMessage, error)) error {
 	if !hasRef && !mcfg.PreviousWindow {
 		return badRequest("reference rows required unless previous_window is set")
 	}
@@ -228,6 +330,43 @@ func bindSession[D, M any](s *Session, mc core.ModelClass[D, M], ref D, hasRef b
 	s.state = func() (int64, int, int, int) {
 		return mon.Epoch(), mon.WindowBatches(), mon.WindowN(), mon.Reports()
 	}
+	s.exportMonitor = func() (*monitorStateJSON, error) {
+		st := mon.ExportState()
+		out := &monitorStateJSON{Epoch: st.Epoch, Seq: st.Seq, Epochs: st.Epochs}
+		for _, b := range st.Batches {
+			raw, err := encode(b)
+			if err != nil {
+				return nil, err
+			}
+			out.Batches = append(out.Batches, raw)
+		}
+		if st.RefPromoted {
+			raw, err := encode(st.RefData)
+			if err != nil {
+				return nil, err
+			}
+			out.RefRows = raw
+		}
+		return out, nil
+	}
+	s.restoreMonitor = func(ms *monitorStateJSON) error {
+		st := stream.MonitorState[D]{Epoch: ms.Epoch, Seq: ms.Seq, Epochs: ms.Epochs}
+		for i, raw := range ms.Batches {
+			b, err := decode(raw)
+			if err != nil {
+				return fmt.Errorf("window batch %d: %w", i, err)
+			}
+			st.Batches = append(st.Batches, b)
+		}
+		if len(ms.RefRows) > 0 {
+			d, err := decode(ms.RefRows)
+			if err != nil {
+				return fmt.Errorf("reference window: %w", err)
+			}
+			st.RefPromoted, st.RefData = true, d
+		}
+		return mon.RestoreState(st)
+	}
 	return nil
 }
 
@@ -259,7 +398,7 @@ func bindLits(s *Session, cfg *SessionConfig) error {
 			return badRequest(fmt.Sprintf("reference: %v", err))
 		}
 	}
-	return bindSession(s, core.LitsWithCounter(cfg.MinSupport, counter), ref, ref != nil, mcfg, decode)
+	return bindSession(s, core.LitsWithCounter(cfg.MinSupport, counter), ref, ref != nil, mcfg, decode, encodeTxnRows)
 }
 
 func bindDT(s *Session, cfg *SessionConfig) error {
@@ -286,7 +425,7 @@ func bindDT(s *Session, cfg *SessionConfig) error {
 	if err != nil {
 		return badRequest(fmt.Sprintf("growing pinned tree: %v", err))
 	}
-	return bindSession(s, core.PinnedDT(tree), ref, true, mcfg, decode)
+	return bindSession(s, core.PinnedDT(tree), ref, true, mcfg, decode, encodeTupleRows)
 }
 
 func bindCluster(s *Session, cfg *SessionConfig) error {
@@ -324,15 +463,43 @@ func bindCluster(s *Session, cfg *SessionConfig) error {
 			return badRequest(fmt.Sprintf("reference: %v", err))
 		}
 	}
-	return bindSession(s, core.Cluster(grid, cfg.MinDensity), ref, ref != nil, mcfg, decode)
+	return bindSession(s, core.Cluster(grid, cfg.MinDensity), ref, ref != nil, mcfg, decode, encodeTupleRows)
 }
 
 // Feed ingests one batch into the session and returns the emitted report
 // (nil when the window policy suppresses emission). Feeds are serialized
-// per session, so retained reports appear in emission order.
+// per session, so retained reports appear in emission order. In a durable
+// session the batch is appended to the write-ahead log before ingestion —
+// a crash after the acknowledgement can always replay it — and the WAL is
+// compacted into a fresh snapshot once the replay debt crosses the
+// registry's threshold. A deleted session answers 404.
 func (s *Session) Feed(epoch *int64, rows json.RawMessage) (*ReportJSON, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, notFound(s.name)
+	}
+	if s.store != nil {
+		if err := s.store.appendFeed(epoch, rows); err != nil {
+			return nil, fmt.Errorf("persisting batch: %w", err)
+		}
+	}
+	rj, err := s.feedLocked(epoch, rows)
+	if err != nil {
+		return nil, err
+	}
+	if s.store != nil && s.store.shouldCompact() {
+		// Best-effort: the feed is already durable in the WAL, so a failed
+		// compaction degrades replay time, never correctness; the next
+		// threshold crossing retries.
+		s.compactLocked()
+	}
+	return rj, nil
+}
+
+// feedLocked runs the intake and report-ring update shared by Feed and WAL
+// replay; callers hold s.mu.
+func (s *Session) feedLocked(epoch *int64, rows json.RawMessage) (*ReportJSON, error) {
 	rep, err := s.ingest(epoch, rows)
 	if err != nil {
 		return nil, err
@@ -351,10 +518,13 @@ func (s *Session) Feed(epoch *int64, rows json.RawMessage) (*ReportJSON, error) 
 	return rj, nil
 }
 
-// State snapshots the session.
-func (s *Session) State() SessionState {
+// State snapshots the session; a deleted session answers 404.
+func (s *Session) State() (SessionState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return SessionState{}, notFound(s.name)
+	}
 	epoch, batches, n, reports := s.state()
 	st := SessionState{
 		Name:          s.name,
@@ -369,15 +539,18 @@ func (s *Session) State() SessionState {
 		cp := *s.last
 		st.LastReport = &cp
 	}
-	return st
+	return st, nil
 }
 
 // Reports returns the retained recent reports (oldest first) and the total
-// alert count.
-func (s *Session) Reports() ([]ReportJSON, int) {
+// alert count; a deleted session answers 404.
+func (s *Session) Reports() ([]ReportJSON, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, notFound(s.name)
+	}
 	out := make([]ReportJSON, len(s.reports))
 	copy(out, s.reports)
-	return out, s.alerts
+	return out, s.alerts, nil
 }

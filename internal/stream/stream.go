@@ -96,13 +96,15 @@ type Monitor[D, M any] struct {
 
 	refModel    M
 	hasRefModel bool
+	refPromoted bool // the reference was promoted from a window (PreviousWindow)
 	liveModel   M
 	liveModelOK bool
 
-	epochs []int64 // one entry per live batch, oldest first
-	epoch  int64
-	seq    int
-	last   *Report
+	epochs  []int64 // one entry per live batch, oldest first
+	batches []D     // the live batches themselves, oldest first (for ExportState)
+	epoch   int64
+	seq     int
+	last    *Report
 }
 
 // New creates a monitor for the given model class. ref is the pinned
@@ -184,6 +186,7 @@ func (m *Monitor[D, M]) ingest(epoch int64, batch D) (*Report, error) {
 	}
 	m.liveModelOK = false
 	m.epochs = append(m.epochs, epoch)
+	m.batches = append(m.batches, batch)
 
 	// Advance the window: subtract expired batches, keep the new one.
 	if m.opts.EpochWindow > 0 {
@@ -256,6 +259,7 @@ func (m *Monitor[D, M]) ingest(epoch int64, batch D) (*Report, error) {
 func (m *Monitor[D, M]) expire() {
 	m.live.RemoveFront()
 	m.epochs = m.epochs[1:]
+	m.batches = m.batches[1:]
 	m.liveModelOK = false
 }
 
@@ -290,6 +294,7 @@ func (m *Monitor[D, M]) snapshot() error {
 	m.ref = m.live.Clone()
 	m.refModel = model
 	m.hasRefModel = true
+	m.refPromoted = true
 	return nil
 }
 
@@ -354,4 +359,93 @@ func (m *Monitor[D, M]) WindowN() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.live.N()
+}
+
+// MonitorState is the replayable state of a Monitor, produced by
+// ExportState and reinstated by RestoreState: the live window's raw
+// batches with their epochs, the intake counters, and — when the reference
+// has been promoted from a window (PreviousWindow mode) — the reference
+// window's pooled rows. Together with the constructor arguments it
+// determines every future emission bit-for-bit, which is what makes
+// monitor sessions durable: a serving layer persists this state (plus a
+// write-ahead log of batches fed since) and reproduces the exact monitor
+// on recovery.
+type MonitorState[D any] struct {
+	// Epoch is the epoch of the most recent ingest.
+	Epoch int64
+	// Seq is the number of reports emitted so far.
+	Seq int
+	// Epochs holds one epoch per live batch, oldest first.
+	Epochs []int64
+	// Batches holds the live window's raw batches, oldest first, aligned
+	// with Epochs.
+	Batches []D
+	// RefPromoted reports that the reference was promoted from a window
+	// rather than pinned at construction; RefData then holds the promoted
+	// window's pooled rows.
+	RefPromoted bool
+	RefData     D
+}
+
+// ExportState snapshots the monitor's replayable state. The returned
+// batches alias the retained ones — immutable by the Ingest contract — so
+// the export is cheap.
+func (m *Monitor[D, M]) ExportState() MonitorState[D] {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MonitorState[D]{
+		Epoch:   m.epoch,
+		Seq:     m.seq,
+		Epochs:  append([]int64(nil), m.epochs...),
+		Batches: append([]D(nil), m.batches...),
+	}
+	if m.refPromoted {
+		st.RefPromoted = true
+		st.RefData = m.ref.Data()
+	}
+	return st
+}
+
+// RestoreState reinstates an exported state into a freshly constructed
+// monitor (same model class, same Options, same construction reference).
+// Rebuilding the window summaries from the exported raw batches is
+// bit-identical to the original intake — the same determinism contract the
+// equivalence tests pin — so a restored monitor's future emissions,
+// including the per-emission bootstrap RNG streams (seeded by Seq), match
+// the uninterrupted monitor's exactly. The last-report cache is not part
+// of the state: Last returns nil until the first post-restore emission.
+func (m *Monitor[D, M]) RestoreState(st MonitorState[D]) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seq != 0 || len(m.epochs) != 0 || m.live.Batches() != 0 {
+		return errors.New("stream: RestoreState requires a freshly constructed monitor")
+	}
+	if len(st.Epochs) != len(st.Batches) {
+		return fmt.Errorf("stream: state holds %d epochs for %d batches", len(st.Epochs), len(st.Batches))
+	}
+	if st.RefPromoted {
+		if !m.opts.PreviousWindow {
+			return errors.New("stream: promoted reference state for a pinned-reference monitor")
+		}
+		// Mirror New: clone the still-empty live window so the reference
+		// shares its sealed-summary bookkeeping.
+		rw := m.live.Clone()
+		if err := rw.Add(st.RefData, m.opts.Parallelism); err != nil {
+			return fmt.Errorf("stream: restoring reference window: %w", err)
+		}
+		rm, err := rw.Induce()
+		if err != nil {
+			return fmt.Errorf("stream: restoring reference model: %w", err)
+		}
+		m.ref, m.refModel, m.hasRefModel, m.refPromoted = rw, rm, true, true
+	}
+	for i, b := range st.Batches {
+		if err := m.live.Add(b, m.opts.Parallelism); err != nil {
+			return fmt.Errorf("stream: restoring window batch %d: %w", i, err)
+		}
+	}
+	m.batches = append(m.batches, st.Batches...)
+	m.epochs = append(m.epochs, st.Epochs...)
+	m.epoch, m.seq = st.Epoch, st.Seq
+	return nil
 }

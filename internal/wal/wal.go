@@ -1,0 +1,157 @@
+// Package wal implements the write-ahead log of the serving layer: an
+// append-only file of length-prefixed, checksummed records, written before
+// the state change each record describes is applied, so that a crashed
+// process can replay the log on boot and arrive at the exact pre-crash
+// state.
+//
+// The format is deliberately minimal. A log starts with an 8-byte header
+// (magic + version) followed by records of
+//
+//	[4-byte little-endian payload length][4-byte CRC32-C of payload][payload]
+//
+// Appends issue one write(2) per record, so every record acknowledged to a
+// caller has reached the kernel and survives a SIGKILL of the process;
+// Sync flushes to stable storage for machine-crash durability (the serving
+// layer calls it on graceful shutdown and around snapshots).
+//
+// Recovery is tolerant by construction: Open scans the log from the start
+// and stops at the first record whose length or checksum does not verify —
+// a partial record from a crashed append, or a corrupted tail — truncates
+// the file back to the last valid record, and returns the valid prefix.
+// Torn or corrupt trailing records are therefore dropped, never fatal; only
+// an unreadable file or a foreign header is an error.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// header is the 8-byte file header: magic "FWAL", format version 1, and
+// three reserved zero bytes.
+var header = [8]byte{'F', 'W', 'A', 'L', 1, 0, 0, 0}
+
+// MaxRecord bounds a single record's payload. It is comfortably above the
+// serving layer's request-body cap; a scanned length beyond it reads as
+// corruption, so a torn length prefix cannot trigger a giant allocation.
+const MaxRecord = 128 << 20
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer is an append handle to a log. It is not safe for concurrent use;
+// the serving layer serializes appends under its per-session lock.
+type Writer struct {
+	f   *os.File
+	buf []byte // scratch for header+payload, reused across appends
+}
+
+// Open opens (creating if absent) the log at path, scans it, truncates any
+// invalid tail, and returns an append handle positioned after the last
+// valid record together with the valid records in append order. The
+// returned payloads are freshly allocated and owned by the caller.
+func Open(path string) (*Writer, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, recs, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, recs, nil
+}
+
+// scan validates the header (writing one into an empty file), scans the
+// records, and truncates the file to the end of the valid prefix.
+func scan(f *os.File) (*Writer, [][]byte, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.Size() == 0 {
+		if _, err := f.Write(header[:]); err != nil {
+			return nil, nil, err
+		}
+		return &Writer{f: f}, nil, nil
+	}
+	var got [8]byte
+	if _, err := io.ReadFull(f, got[:]); err != nil {
+		return nil, nil, fmt.Errorf("wal: reading header of %s: %w", f.Name(), err)
+	}
+	if got != header {
+		return nil, nil, fmt.Errorf("wal: %s is not a wal file (header % x)", f.Name(), got[:])
+	}
+
+	var (
+		recs  [][]byte
+		valid = int64(len(header)) // offset just past the last valid record
+		hdr   [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			break // clean EOF or torn record header: stop
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecord {
+			break // corrupt length prefix
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // corrupt payload
+		}
+		recs = append(recs, payload)
+		valid += int64(len(hdr)) + int64(length)
+	}
+	if valid < info.Size() {
+		if err := f.Truncate(valid); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	return &Writer{f: f}, recs, nil
+}
+
+// Append writes one record. The payload has reached the kernel when Append
+// returns; call Sync for stable-storage durability.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(payload), MaxRecord)
+	}
+	need := 8 + len(payload)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, 0, need)
+	}
+	buf := w.buf[:8]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+	// One write per record: a crash can tear the record being appended —
+	// dropped by the next Open — but never a previously acknowledged one.
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close syncs and closes the log.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

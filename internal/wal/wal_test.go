@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reopen closes w and reopens the log, returning the surviving records.
+func reopen(t *testing.T, w *Writer, path string) (*Writer, [][]byte) {
+	t.Helper()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w2, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return w2, recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		rec := []byte(fmt.Sprintf(`{"batch": %d, "rows": [%d, %d]}`, i, i*2, i*2+1))
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		want = append(want, rec)
+	}
+	// Include an empty record: zero-length payloads are legal.
+	if err := w.Append(nil); err != nil {
+		t.Fatalf("Append empty: %v", err)
+	}
+	want = append(want, []byte{})
+
+	w, got := reopen(t, w, path)
+	defer w.Close()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The log stays appendable after recovery.
+	if err := w.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	w, got = reopen(t, w, path)
+	defer w.Close()
+	if len(got) != len(want)+1 || !bytes.Equal(got[len(got)-1], []byte("after")) {
+		t.Fatalf("post-recovery append lost: %d records, last %q", len(got), got[len(got)-1])
+	}
+}
+
+// TestTruncatedTail cuts the file mid-record — the shape a crashed append
+// leaves behind — and requires the valid prefix to survive, the torn tail
+// to be dropped, and subsequent appends to land cleanly after the prefix.
+func TestTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%d-payload", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for cut := 1; cut < 8+len("record-2-payload"); cut += 3 {
+		if err := os.WriteFile(path, full[:len(full)-cut], 0o644); err != nil {
+			t.Fatalf("truncating: %v", err)
+		}
+		w, recs, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open after %d-byte cut: %v", cut, err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("cut %d: recovered %d records, want 2", cut, len(recs))
+		}
+		if err := w.Append([]byte("fresh")); err != nil {
+			t.Fatalf("Append after cut: %v", err)
+		}
+		w, recs = reopen(t, w, path)
+		w.Close()
+		if len(recs) != 3 || string(recs[2]) != "fresh" {
+			t.Fatalf("cut %d: after re-append got %d records, last %q", cut, len(recs), recs[len(recs)-1])
+		}
+	}
+}
+
+// TestCorruptChecksum flips one payload byte of the last record: the record
+// must be dropped without failing recovery or the earlier records.
+func TestCorruptChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%d-payload", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	w, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after corruption: %v", err)
+	}
+	defer w.Close()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (corrupt third dropped)", len(recs))
+	}
+	for i, rec := range recs {
+		if want := fmt.Sprintf("record-%d-payload", i); string(rec) != want {
+			t.Fatalf("record %d = %q, want %q", i, rec, want)
+		}
+	}
+}
+
+// TestCorruptLength writes an absurd length prefix: recovery must treat it
+// as a torn tail, not attempt the allocation.
+func TestCorruptLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := w.Append([]byte("ok")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 'x'}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	f.Close()
+	w, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	if len(recs) != 1 || string(recs[0]) != "ok" {
+		t.Fatalf("recovered %v, want the one valid record", recs)
+	}
+}
+
+// TestForeignFile rejects a file that is not a wal.
+func TestForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-wal")
+	if err := os.WriteFile(path, []byte("just some text, definitely no header"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a foreign file")
+	}
+}
+
+// TestOversizeRecordRejected caps appends at MaxRecord.
+func TestOversizeRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	huge := make([]byte, MaxRecord+1)
+	if err := w.Append(huge); err == nil {
+		t.Fatal("Append accepted an oversize record")
+	}
+}
