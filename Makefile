@@ -5,7 +5,7 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test race vet api apicheck bench ci
+.PHONY: build test race vet lint api apicheck bench ci
 
 build:
 	go build ./...
@@ -18,6 +18,15 @@ race:
 
 vet:
 	go vet ./...
+
+# lint builds and runs focuslint, the project's custom analyzer suite
+# (internal/lint): lockguard, determinism, sharedcapture and walorder
+# mechanically enforce the locking, replay and durability invariants. The
+# suite is stdlib-only, so this needs no tool downloads; see the
+# internal/lint package documentation for the annotation grammar.
+lint:
+	go build -o /dev/null ./cmd/focuslint
+	go run ./cmd/focuslint ./...
 
 # api regenerates the checked-in public API surface baseline. Run it after
 # an intentional API change and commit the diff; the apicheck CI job fails
@@ -44,6 +53,11 @@ apicheck:
 # charges the incremental monitor's one-time window warm-up to its only
 # op, inverting the steady-state relationship the trajectory exists to
 # track.
+#
+# bench deliberately does not run focuslint (or any other static check):
+# the analyzers run in `make ci` and the focuslint CI job, and keeping them
+# out of bench keeps benchmark wall time a pure measurement of the code
+# under test.
 BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap,BenchmarkMineTrie,BenchmarkMineVertical,BenchmarkFig7LitsSDvsSF,BenchmarkQualifyLits,BenchmarkPump/source,BenchmarkPump/readcsv,BenchmarkLitsMonitorIncremental,BenchmarkLitsRebuildFromScratch
 BENCH_ORDER := "BenchmarkLitsMonitorIncremental<=BenchmarkLitsRebuildFromScratch"
 bench:
@@ -53,4 +67,4 @@ bench:
 	@rm -f bench.out
 	@echo "wrote BENCH_focus.json"
 
-ci: build vet test apicheck
+ci: build vet lint test apicheck

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"focus/internal/lint"
+)
+
+// TestRepoIsClean is the tier-1 gate: the full analyzer suite must report
+// zero diagnostics over the whole repository. Deliberately introducing any
+// of the four checked bug classes fails this test (and make lint).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo analysis in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-list"}); code != 0 {
+			t.Errorf("run(-list) = %d, want 0", code)
+		}
+	})
+	for _, name := range []string{"lockguard", "determinism", "sharedcapture", "walorder"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}); code != 2 {
+		t.Errorf("run(-no-such-flag) = %d, want 2", code)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	if code := run([]string{"./no/such/package"}); code != 2 {
+		t.Errorf("run(./no/such/package) = %d, want 2", code)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("reading captured stdout: %v", err)
+	}
+	return string(b)
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-identical replay contract on library code:
+// in non-test, non-main packages it forbids the three ambient sources of
+// nondeterminism that silently break byte-for-byte reproducibility —
+//
+//   - the global math/rand generators (package-level rand.Intn, rand.Perm,
+//     ...): every random draw must flow from an explicitly seeded
+//     rand.New(rand.NewSource(seed)) so replays consume the same stream;
+//   - the wall clock (time.Now, time.Since, time.Until): recovered state
+//     must not depend on when it is recomputed;
+//   - map iteration whose order leaks into an emitted slice or printed
+//     output: ranging over a map is fine for reductions, but values
+//     appended to a slice (without a later sort of that slice in the same
+//     function) or printed directly inherit the map's randomized order.
+//
+// Test files never reach the analyzer (the loader excludes them) and main
+// packages (cmd/*, examples/*) are exempt: CLIs may time themselves; the
+// contract binds the library layers that mining, serving and replay are
+// built from.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global rand, wall-clock reads, and map-ordered output in library code",
+	Run:  runDeterminism,
+}
+
+// seededConstructors are the math/rand package-level functions that build
+// explicitly seeded generators rather than consuming the global one.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAmbientCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapOrderedOutput(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAmbientCall flags calls to the global rand generators and the wall
+// clock.
+func checkAmbientCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "call to global %s.%s breaks bit-identical replay; draw from an explicitly seeded rand.New(rand.NewSource(seed)) instead",
+				pathBase(fn.Pkg().Path()), fn.Name())
+		}
+	case "time":
+		if clockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock, which breaks bit-identical replay; thread explicit timestamps through the call instead", fn.Name())
+		}
+	}
+}
+
+// checkMapOrderedOutput flags range-over-map loops whose iteration order
+// escapes into output: values appended to an outer slice that is never
+// sorted afterwards in the same function, or printed directly from the
+// loop body.
+func checkMapOrderedOutput(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rs.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		sinks := make(map[types.Object]bool)
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					if !isAppendTo(pass, n.Rhs[i], id) {
+						continue
+					}
+					obj := pass.TypesInfo.ObjectOf(id)
+					if obj == nil || insideRange(rs, obj) {
+						continue
+					}
+					sinks[obj] = true
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+					(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+					pass.Reportf(n.Pos(), "printing from inside a map range emits values in randomized map order; collect and sort first")
+				}
+			}
+			return true
+		})
+		if len(sinks) == 0 {
+			return true
+		}
+		// A sort of the sink anywhere after the loop absolves it.
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < rs.End() {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil && sinks[obj] {
+							delete(sinks, obj)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+		for obj := range sinks {
+			pass.Reportf(rs.Pos(), "%s is appended in map-iteration order and never sorted afterwards; the randomized order leaks into the emitted slice", obj.Name())
+		}
+		return true
+	})
+}
+
+// isAppendTo reports whether e is append(dst, ...) for the given dst.
+func isAppendTo(pass *Pass, e ast.Expr, dst *ast.Ident) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(first) == pass.TypesInfo.ObjectOf(dst)
+}
+
+// insideRange reports whether obj is declared within the range statement.
+func insideRange(rs *ast.RangeStmt, obj types.Object) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pathBase returns the last path segment ("math/rand/v2" -> "rand/v2" is
+// unhelpful; report the import path's conventional name).
+func pathBase(path string) string {
+	if strings.HasSuffix(path, "/v2") {
+		return "rand/v2"
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

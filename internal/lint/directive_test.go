@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseTestFile(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestParseIgnores(t *testing.T) {
+	fset, f := parseTestFile(t, `package p
+
+func f() {
+	//lint:ignore determinism the clock here is reporting metadata only
+	_ = 1
+}
+`)
+	var diags []Diagnostic
+	igs := parseIgnores(fset, f, &diags)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if len(igs) != 1 {
+		t.Fatalf("got %d ignore directives, want 1", len(igs))
+	}
+	if igs[0].analyzer != "determinism" {
+		t.Errorf("analyzer = %q, want determinism", igs[0].analyzer)
+	}
+	if igs[0].line != 4 {
+		t.Errorf("line = %d, want 4", igs[0].line)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//lint:ignore\nvar x int\n",
+		"package p\n\n//lint:ignore lockguard\nvar x int\n",
+	} {
+		fset, f := parseTestFile(t, src)
+		var diags []Diagnostic
+		igs := parseIgnores(fset, f, &diags)
+		if len(igs) != 0 {
+			t.Errorf("malformed directive accepted: %v", igs)
+		}
+		if len(diags) != 1 || diags[0].Analyzer != "lintdirective" {
+			t.Errorf("got diagnostics %v, want one lintdirective finding", diags)
+		}
+		if len(diags) == 1 && !strings.Contains(diags[0].Message, "non-empty reason") {
+			t.Errorf("message %q does not explain the required form", diags[0].Message)
+		}
+	}
+}
+
+func TestHoldsDirectives(t *testing.T) {
+	_, f := parseTestFile(t, `package p
+
+// addLocked asserts two guards.
+//
+//lint:holds mu Session.mu
+func addLocked() {}
+
+// plain has no assertion.
+func plain() {}
+`)
+	var got [][]string
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			got = append(got, holdsDirectives(fd.Doc))
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d func decls, want 2", len(got))
+	}
+	if len(got[0]) != 2 || got[0][0] != "mu" || got[0][1] != "Session.mu" {
+		t.Errorf("holds = %v, want [mu Session.mu]", got[0])
+	}
+	if len(got[1]) != 0 {
+		t.Errorf("holds = %v for unannotated func, want none", got[1])
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	_, f := parseTestFile(t, `package p
+
+// Feed is durable.
+//
+//lint:wal-before-ingest
+func Feed() {}
+
+// FeedNote is annotated with trailing words.
+//
+//lint:wal-before-ingest see Feed
+func FeedNote() {}
+
+// Prefixed must not match a directive that merely shares a prefix.
+//
+//lint:wal-before-ingest-extra
+func Prefixed() {}
+`)
+	want := []bool{true, true, false}
+	var i int
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if got := hasDirective(fd.Doc, "wal-before-ingest"); got != want[i] {
+			t.Errorf("%s: hasDirective = %v, want %v", fd.Name.Name, got, want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("checked %d funcs, want %d", i, len(want))
+	}
+}

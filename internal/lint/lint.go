@@ -1,0 +1,250 @@
+// Package lint is the project's custom static-analysis suite: a set of
+// analyzers that mechanically enforce the invariants the differential and
+// equivalence tests only check after the fact.
+//
+// The invariants, and the analyzer that guards each:
+//
+//   - Bit-identical replay (analyzer "determinism"): every backend,
+//     parallelism and replay path must produce byte-for-byte identical
+//     results, so non-test library code must not consume ambient
+//     nondeterminism — the global math/rand generator, the wall clock, or
+//     map iteration order that leaks into emitted slices or output.
+//   - Mutex discipline (analyzer "lockguard"): registry, session and
+//     monitor state is mutated by concurrent HTTP handlers and feeders;
+//     fields annotated "guarded by <mutex>" may only be touched where the
+//     named mutex is demonstrably held (or asserted held via
+//     //lint:holds).
+//   - Shared-capture safety (analyzer "sharedcapture"): worker closures —
+//     go statements and the bodies handed to parallel.Do/MapReduce — must
+//     not write to variables captured from the enclosing function without
+//     synchronization (the PR 1 Extension-bootstrap race, frozen as a
+//     checked rule so it can never regress).
+//   - WAL-before-ingest (analyzer "walorder"): durable serving acknowledges
+//     a batch only after it is replayable, so on every intake entry point
+//     annotated //lint:wal-before-ingest the write-ahead-log append must
+//     come before any monitor intake call.
+//
+// The suite is built on the Go standard library alone (go/ast, go/types,
+// and export data produced by `go list -export`), deliberately mirroring
+// the golang.org/x/tools/go/analysis API shape without depending on it:
+// the module has zero external dependencies, so analyzer builds are
+// reproducible by construction. Command focuslint is the multichecker
+// driver; `make lint` runs it over the whole repository.
+//
+// # Annotation grammar
+//
+//   - "// guarded by <mutex>" on a struct field declares that the field may
+//     only be accessed while <mutex> is held. <mutex> is either a sibling
+//     field name (e.g. "guarded by mu") or, for state guarded by another
+//     type's lock, a qualified "<Type>.<field>" name (e.g. "guarded by
+//     Session.mu").
+//   - "//lint:holds <mutex> [<mutex>...]" in a function's doc comment
+//     asserts that every caller already holds the named mutexes — the
+//     convention for *Locked helpers.
+//   - "//lint:wal-before-ingest" in a function's doc comment marks a
+//     durable intake entry point checked by walorder.
+//   - "//lint:ignore <analyzer> <reason>" on the line before (or the line
+//     of) a finding suppresses it; the reason is mandatory and should name
+//     why the flagged pattern is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check, the analogue of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces.
+	Doc string
+	// Run analyzes one package, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// All returns the full focuslint suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{LockGuard, Determinism, SharedCapture, WALOrder}
+}
+
+// Diagnostic is one finding of an analyzer at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package, the
+// analogue of golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	ignores []ignoreDirective
+	diags   *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an //lint:ignore directive for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, ig := range p.ignores {
+		if ig.file == position.Filename && ig.analyzer == p.Analyzer.Name &&
+			(ig.line == position.Line || ig.line == position.Line-1) {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment; it suppresses the
+// named analyzer on its own line and the line immediately after.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directivePrefix introduces every machine-readable lint comment.
+const directivePrefix = "//lint:"
+
+// parseIgnores extracts the //lint:ignore directives of a file, reporting
+// malformed ones (a missing analyzer name or empty reason) as diagnostics
+// so an unjustified suppression cannot slip through.
+func parseIgnores(fset *token.FileSet, file *ast.File, diags *[]Diagnostic) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix+"ignore")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "lintdirective",
+					Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" with a non-empty reason",
+				})
+				continue
+			}
+			out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+		}
+	}
+	return out
+}
+
+// holdsDirectives extracts the mutex names a function's doc comment asserts
+// held via //lint:holds.
+func holdsDirectives(doc *ast.CommentGroup) []string {
+	var out []string
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, directivePrefix+"holds"); ok {
+			out = append(out, strings.Fields(rest)...)
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a doc comment carries the named bare
+// //lint: directive (e.g. "wal-before-ingest").
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directivePrefix+name || strings.HasPrefix(c.Text, directivePrefix+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedByRE matches the field annotation "guarded by <mutex>"; the mutex
+// is a sibling field name or a qualified Type.field name.
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+// RunAnalyzers applies the analyzers to each loaded package and returns the
+// surviving diagnostics sorted by position. //lint:ignore directives are
+// honoured; malformed directives surface as "lintdirective" diagnostics.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var ignores []ignoreDirective
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(pkg.Fset, f, &diags)...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				ignores:   ignores,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Pkg.Path(), err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// exprChain renders a selector base as a dotted identifier chain ("s",
+// "s.store"), or "" when the expression is not a pure chain (calls,
+// indexing); chain matching is how lock calls are tied to field accesses.
+func exprChain(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprChain(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprChain(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,130 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library alone.
+//
+// A fixture is an ordinary compilable package under the calling test's
+// testdata/src directory (excluded from builds and wildcard go list
+// patterns by the testdata convention, but loadable by explicit path). A
+// line expecting diagnostics carries a trailing comment of the form
+//
+//	x = 1 // want "regexp" "another regexp"
+//
+// with one quoted (double- or back-quoted) regular expression per expected
+// diagnostic on that line. Every reported diagnostic must match a want
+// pattern on its line and every want pattern must be matched — extra and
+// missing diagnostics both fail the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"focus/internal/lint"
+)
+
+// wantRE matches a trailing // want comment; patterns are parsed from its
+// remainder.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patternRE extracts the individual quoted patterns of a want comment.
+var patternRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one want pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package at dir (relative to the test's working
+// directory, e.g. "testdata/src/lockguard"), applies the analyzers, and
+// fails the test on any mismatch between diagnostics and want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(".", "./"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg.Fset, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim matches a diagnostic against the unmatched want patterns on its
+// line, consuming the first match.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	rendered := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(rendered) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want comments of one file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			patterns := patternRE.FindAllString(m[1], -1)
+			if len(patterns) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q: no quoted patterns", pos.Filename, pos.Line, c.Text)
+			}
+			for _, p := range patterns {
+				raw := p
+				if strings.HasPrefix(p, "`") {
+					p = strings.Trim(p, "`")
+				} else {
+					p = strings.ReplaceAll(strings.Trim(p, `"`), `\"`, `"`)
+				}
+				re, err := regexp.Compile(p)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces the mutex discipline declared by "guarded by" field
+// annotations: a field annotated "// guarded by mu" may only be read or
+// written where the named sibling mutex is demonstrably held, and a field
+// annotated with a qualified guard ("// guarded by Session.mu") only
+// inside functions asserting //lint:holds Session.mu.
+//
+// "Demonstrably held" is a lexical approximation of "held on every path":
+// the access must be preceded, in the same function, by a
+// <base>.<mutex>.Lock() or .RLock() call on the same receiver chain, or
+// the function must carry a //lint:holds directive naming the mutex, or
+// the receiver must be a local the function itself constructed (a
+// still-unpublished object needs no lock). The approximation errs on the
+// side of reporting: an access it cannot tie to a lock acquisition is a
+// finding, to be fixed or explicitly justified with //lint:ignore.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "guarded-by annotated fields must only be accessed with their mutex held",
+	Run:  runLockGuard,
+}
+
+// guardedField records one "guarded by" annotation: the mutex name, and
+// whether it is qualified (guarded by another type's lock).
+type guardedField struct {
+	mutex     string
+	qualified bool
+	owner     string // struct type name, for diagnostics
+}
+
+func runLockGuard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLocks(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards resolves every "guarded by" field annotation of the
+// package, reporting annotations whose sibling mutex does not exist.
+func collectGuards(pass *Pass) map[*types.Var]guardedField {
+	guards := make(map[*types.Var]guardedField)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mutex := guardAnnotation(f)
+				if mutex == "" {
+					continue
+				}
+				qualified := strings.Contains(mutex, ".")
+				if !qualified && !fieldNames[mutex] {
+					pass.Reportf(f.Pos(), "field annotated \"guarded by %s\" but struct %s has no field %q", mutex, ts.Name.Name, mutex)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guardedField{mutex: mutex, qualified: qualified, owner: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, or "" when the field carries no annotation.
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFuncLocks verifies every guarded-field access of one function.
+func checkFuncLocks(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardedField) {
+	holds := holdsDirectives(fd.Doc)
+	locks := lockCalls(fd.Body)
+	fresh := freshLocals(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := guards[v]
+		if !guarded {
+			return true
+		}
+		if accessIsSafe(pass, sel, g, holds, locks, fresh) {
+			return true
+		}
+		if g.qualified {
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but the enclosing function does not assert //lint:holds %s",
+				g.owner, v.Name(), g.mutex, g.mutex)
+		} else {
+			base := exprChain(sel.X)
+			if base == "" {
+				base = g.owner
+			}
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %s.%s, which is not held here (no preceding %s.%s.Lock/RLock and no //lint:holds %s)",
+				base, v.Name(), base, g.mutex, base, g.mutex, g.mutex)
+		}
+		return true
+	})
+}
+
+// lockCall is one observed <chain>.Lock()/.RLock() acquisition.
+type lockCall struct {
+	chain string // the locked expression, e.g. "r.mu"
+	pos   token.Pos
+}
+
+// lockCalls collects every mutex acquisition in the body.
+func lockCalls(body *ast.BlockStmt) []lockCall {
+	var out []lockCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if chain := exprChain(sel.X); chain != "" {
+			out = append(out, lockCall{chain: chain, pos: call.Pos()})
+		}
+		return true
+	})
+	return out
+}
+
+// freshLocals collects local variables bound to an object the function
+// itself constructs — a composite literal, &literal, or new(T) — which is
+// unpublished and therefore needs no lock. A local initialized from a call
+// or an existing structure may alias published state and gets no
+// exemption.
+func freshLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !isConstruction(as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isConstruction reports whether e constructs a brand-new object.
+func isConstruction(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// accessIsSafe decides whether one guarded-field access is covered by a
+// holds assertion, a preceding lock acquisition on the same chain, or a
+// fresh unpublished receiver.
+func accessIsSafe(pass *Pass, sel *ast.SelectorExpr, g guardedField, holds []string, locks []lockCall, fresh map[types.Object]bool) bool {
+	for _, h := range holds {
+		if h == g.mutex {
+			return true
+		}
+	}
+	if g.qualified {
+		return false
+	}
+	base := exprChain(sel.X)
+	if base != "" {
+		if root := chainRoot(sel.X); root != nil {
+			if obj := pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
+				return true
+			}
+		}
+		want := base + "." + g.mutex
+		for _, lc := range locks {
+			if lc.chain == want && lc.pos < sel.Pos() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// chainRoot returns the root identifier of a selector chain, or nil.
+func chainRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SharedCapture flags unsynchronized writes from worker closures to
+// variables captured from the enclosing function — the exact shape of the
+// PR 1 Extension-bootstrap race, where concurrent bootstrap draws all
+// assigned the enclosing function's err variable.
+//
+// A worker closure is a function literal launched by a go statement or
+// handed to internal/parallel's worker entry points (the body arguments of
+// parallel.Do and parallel.MapReduce; MapReduce's merge argument runs
+// serially on the caller and is exempt). Inside a worker, a plain
+// assignment or ++/-- on an identifier declared outside the closure is a
+// finding unless a mutex is acquired earlier in the closure. Writes to
+// shard-indexed slots (s[i] = ...) are the sanctioned pattern for
+// returning per-worker results and are not flagged; neither are
+// sync/atomic calls, which are not assignments.
+var SharedCapture = &Analyzer{
+	Name: "sharedcapture",
+	Doc:  "worker closures must not write captured variables without synchronization",
+	Run:  runSharedCapture,
+}
+
+// parallelWorkerArgs names internal/parallel entry points and which of
+// their arguments run on worker goroutines.
+var parallelWorkerArgs = map[string][]int{
+	"Do":        {2},    // Do(n, parallelism, body)
+	"MapReduce": {2, 3}, // MapReduce(n, parallelism, newAcc, body, merge) — merge is serial
+}
+
+func runSharedCapture(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkWorker(pass, lit, "go statement")
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass, n)
+				if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/parallel") {
+					return true
+				}
+				for _, i := range parallelWorkerArgs[fn.Name()] {
+					if i < len(n.Args) {
+						if lit, ok := n.Args[i].(*ast.FuncLit); ok {
+							checkWorker(pass, lit, "parallel."+fn.Name()+" worker")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWorker walks one worker closure for unsynchronized captured writes.
+func checkWorker(pass *Pass, lit *ast.FuncLit, context string) {
+	// A mutex acquired inside the closure protects everything written after
+	// it (lexical approximation, erring quiet on locked workers).
+	var firstLock token.Pos = token.NoPos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				if firstLock == token.NoPos || call.Pos() < firstLock {
+					firstLock = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(id *ast.Ident) {
+		if firstLock != token.NoPos && id.Pos() > firstLock {
+			return
+		}
+		pass.Reportf(id.Pos(), "%s writes captured variable %s without synchronization; use a shard-indexed slot, a mutex, or sync/atomic", context, id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // := always declares fresh closure-local variables
+			}
+			for _, lhs := range n.Lhs {
+				if id := capturedWriteTarget(pass, lit, lhs); id != nil {
+					report(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := capturedWriteTarget(pass, lit, n.X); id != nil {
+				report(id)
+			}
+		}
+		return true
+	})
+}
+
+// capturedWriteTarget returns the identifier when lhs is a plain write to
+// a variable captured from outside the closure, and nil otherwise.
+// Index expressions (shard-slot writes) and field selectors are not plain
+// captured writes.
+func capturedWriteTarget(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) *ast.Ident {
+	for {
+		p, ok := lhs.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		lhs = p.X
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+		return nil // declared inside the closure (param or local)
+	}
+	return id
+}

@@ -1,0 +1,73 @@
+// Package determinism is the fixture for the determinism analyzer: ambient
+// randomness, wall-clock reads, and map-ordered output.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Global draws from the unseeded package-level generator.
+func Global() int {
+	return rand.Intn(10) // want `call to global rand\.Intn breaks bit-identical replay`
+}
+
+// Seeded draws from an explicitly seeded generator, which is fine — both
+// the constructors and the methods on the resulting *rand.Rand.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Clock reads the wall clock.
+func Clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed measures against the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Keys leaks map-iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `out is appended in map-iteration order and never sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects in map order but sorts before returning.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump prints directly from a map range.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `printing from inside a map range emits values in randomized map order`
+	}
+}
+
+// Total is an order-independent reduction, which is fine.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Suppressed demonstrates a justified suppression.
+func Suppressed() time.Time {
+	//lint:ignore determinism fixture: demonstrating a justified wall-clock suppression
+	return time.Now()
+}

@@ -1,0 +1,99 @@
+// Package lockguard is the fixture for the lockguard analyzer: guarded-by
+// annotated fields accessed with and without their mutex.
+package lockguard
+
+import "sync"
+
+// Counter is a struct with annotated and unannotated fields.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok bool
+}
+
+// Bad reads n without the lock.
+func (c *Counter) Bad() int {
+	return c.n // want `c\.n is guarded by c\.mu, which is not held here`
+}
+
+// BadWrite writes n without the lock.
+func (c *Counter) BadWrite(v int) {
+	c.n = v // want `c\.n is guarded by c\.mu`
+}
+
+// Good locks before the access.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// addLocked asserts its callers hold the mutex.
+//
+//lint:holds mu
+func (c *Counter) addLocked() { c.n++ }
+
+// Add is a locked caller of the asserted helper.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked()
+}
+
+// Unannotated fields are not checked.
+func (c *Counter) Unannotated() bool { return c.ok }
+
+// Fresh constructs the object locally: no lock needed before publication.
+func Fresh() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// Aliased receives the object from a call, so it may be published and the
+// fresh-local exemption must not apply.
+func Aliased() int {
+	c := lookup()
+	return c.n // want `c\.n is guarded by c\.mu`
+}
+
+func lookup() *Counter { return &Counter{} }
+
+// Ignored demonstrates a justified suppression.
+func (c *Counter) Ignored() int {
+	//lint:ignore lockguard fixture: demonstrating that a justified ignore suppresses the finding
+	return c.n
+}
+
+// rw demonstrates RLock acceptance.
+type rw struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (r *rw) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// store has state guarded by another type's lock.
+type store struct {
+	records int // guarded by Counter.mu
+}
+
+// flushLocked asserts the qualified guard.
+//
+//lint:holds Counter.mu
+func (s *store) flushLocked() { s.records++ }
+
+// FlushBad touches the externally guarded field without the assertion.
+func (s *store) FlushBad() {
+	s.records++ // want `store\.records is guarded by Counter\.mu, but the enclosing function does not assert //lint:holds Counter\.mu`
+}
+
+// missing declares a guard that does not exist.
+type missing struct {
+	// guarded by nothing
+	x int // want `struct missing has no field "nothing"`
+}

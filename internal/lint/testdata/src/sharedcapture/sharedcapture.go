@@ -1,0 +1,124 @@
+// Package sharedcapture is the fixture for the sharedcapture analyzer:
+// worker closures writing captured variables with and without
+// synchronization.
+package sharedcapture
+
+import (
+	"sync"
+
+	"focus/internal/parallel"
+)
+
+func work() error { return nil }
+
+// GoRace assigns a captured variable from a go-statement closure.
+func GoRace() error {
+	var err error
+	done := make(chan struct{})
+	go func() {
+		err = work() // want `go statement writes captured variable err without synchronization`
+		close(done)
+	}()
+	<-done
+	return err
+}
+
+// GoLocked acquires a mutex before the captured write.
+func GoLocked() error {
+	var mu sync.Mutex
+	var err error
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		err = work()
+		mu.Unlock()
+		close(done)
+	}()
+	<-done
+	return err
+}
+
+// GoLocal only writes variables declared inside the closure.
+func GoLocal(xs []int) {
+	done := make(chan struct{})
+	go func() {
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		_ = sum
+		close(done)
+	}()
+	<-done
+}
+
+// SumRace accumulates into a captured total from concurrent shards.
+func SumRace(xs []int) int {
+	total := 0
+	parallel.Do(len(xs), 0, func(shard int, c parallel.Chunk) {
+		for i := c.Lo; i < c.Hi; i++ {
+			total += xs[i] // want `parallel\.Do worker writes captured variable total without synchronization`
+		}
+	})
+	return total
+}
+
+// SumSharded writes only to shard-indexed slots, the sanctioned pattern.
+func SumSharded(xs []int) int {
+	partial := make([]int, len(parallel.Chunks(len(xs), parallel.Workers(0))))
+	parallel.Do(len(xs), 0, func(shard int, c parallel.Chunk) {
+		for i := c.Lo; i < c.Hi; i++ {
+			partial[shard] += xs[i]
+		}
+	})
+	total := 0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// SumMapReduce accumulates through shard-private accumulators and a serial
+// merge; the merge's captured write is exempt by design.
+func SumMapReduce(xs []int) int {
+	total := 0
+	parallel.MapReduce(len(xs), 0,
+		func() *int { return new(int) },
+		func(acc *int, c parallel.Chunk) {
+			for i := c.Lo; i < c.Hi; i++ {
+				*acc += xs[i]
+			}
+		},
+		func(acc *int) { total += *acc },
+	)
+	return total
+}
+
+// MapReduceBodyRace writes the captured total from the concurrent body
+// instead of the accumulator.
+func MapReduceBodyRace(xs []int) int {
+	total := 0
+	parallel.MapReduce(len(xs), 0,
+		func() *int { return new(int) },
+		func(acc *int, c parallel.Chunk) {
+			for i := c.Lo; i < c.Hi; i++ {
+				total += xs[i] // want `parallel\.MapReduce worker writes captured variable total without synchronization`
+			}
+		},
+		func(acc *int) {},
+	)
+	return total
+}
+
+// Suppressed demonstrates a justified suppression.
+func Suppressed() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		//lint:ignore sharedcapture fixture: the channel receive below orders this write before the read
+		n = 1
+		close(done)
+	}()
+	<-done
+	return n
+}

@@ -1,0 +1,49 @@
+// Package walorder is the fixture for the walorder analyzer: a miniature
+// WAL-plus-monitor intake layer exercising the wal-before-ingest ordering.
+package walorder
+
+type wal struct{ records []string }
+
+func (w *wal) Append(rec string) { w.records = append(w.records, rec) }
+
+type monitor struct{ n int }
+
+func (m *monitor) Ingest(rec string) { m.n++ }
+
+type session struct {
+	log *wal
+	mon *monitor
+}
+
+// Feed appends to the WAL before advancing the monitor — the durable
+// ordering.
+//
+//lint:wal-before-ingest
+func (s *session) Feed(rec string) {
+	s.log.Append(rec)
+	s.mon.Ingest(rec)
+}
+
+// FeedBackwards advances the monitor before the batch is durable.
+//
+//lint:wal-before-ingest
+func (s *session) FeedBackwards(rec string) {
+	s.mon.Ingest(rec) // want `FeedBackwards calls Ingest before the WAL append`
+	s.log.Append(rec)
+}
+
+// FeedForgetful never logs the batch at all.
+//
+//lint:wal-before-ingest
+func (s *session) FeedForgetful(rec string) {
+	s.mon.Ingest(rec) // want `FeedForgetful is annotated wal-before-ingest but calls Ingest without any WAL append`
+}
+
+// Replay is unannotated: replaying the WAL into the monitor legitimately
+// ingests without appending, and the analyzer only binds annotated entry
+// points.
+func (s *session) Replay() {
+	for _, rec := range s.log.records {
+		s.mon.Ingest(rec)
+	}
+}

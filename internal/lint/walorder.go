@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// WALOrder enforces the durability ordering of the serving layer: on every
+// intake entry point annotated //lint:wal-before-ingest, the write-ahead
+// log append must come before any monitor intake call. The WAL is what
+// makes an acknowledged batch replayable; ingesting first would leave a
+// crash window in which the monitor advanced but the log never heard of
+// the batch, so recovery silently diverges from the acknowledged state.
+//
+// The check is lexical over the annotated function's body: every call
+// whose method name is a WAL append (appendFeed, Append) must precede
+// every call whose method name is a monitor intake (feedLocked, ingest,
+// Ingest, IngestEpoch). An annotated function with intake calls but no
+// append at all is also a finding — the annotation declares the function
+// durable, so a missing append is exactly the bug class the analyzer
+// exists to catch.
+var WALOrder = &Analyzer{
+	Name: "walorder",
+	Doc:  "annotated intake entry points must append to the WAL before ingesting",
+	Run:  runWALOrder,
+}
+
+// walAppendNames are method names that persist a batch to the write-ahead
+// log.
+var walAppendNames = map[string]bool{"appendFeed": true, "Append": true}
+
+// intakeNames are method names that advance a monitor with a batch.
+var intakeNames = map[string]bool{
+	"feedLocked": true, "ingest": true, "Ingest": true, "IngestEpoch": true,
+}
+
+func runWALOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "wal-before-ingest") {
+				continue
+			}
+			checkWALOrder(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkWALOrder(pass *Pass, fd *ast.FuncDecl) {
+	firstAppend := token.NoPos
+	type intake struct {
+		pos  token.Pos
+		name string
+	}
+	var intakes []intake
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch name := sel.Sel.Name; {
+		case walAppendNames[name]:
+			if firstAppend == token.NoPos || call.Pos() < firstAppend {
+				firstAppend = call.Pos()
+			}
+		case intakeNames[name]:
+			intakes = append(intakes, intake{pos: call.Pos(), name: name})
+		}
+		return true
+	})
+	for _, in := range intakes {
+		switch {
+		case firstAppend == token.NoPos:
+			pass.Reportf(in.pos, "%s is annotated wal-before-ingest but calls %s without any WAL append; an acknowledged batch would not be replayable", fd.Name.Name, in.name)
+		case in.pos < firstAppend:
+			pass.Reportf(in.pos, "%s calls %s before the WAL append; a crash between them loses an acknowledged batch on replay", fd.Name.Name, in.name)
+		}
+	}
+}

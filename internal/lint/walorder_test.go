@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"focus/internal/lint"
+	"focus/internal/lint/linttest"
+)
+
+func TestWALOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/walorder", lint.WALOrder)
+}

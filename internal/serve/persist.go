@@ -61,12 +61,13 @@ type Store struct {
 }
 
 // sessionStore is one session's durable state handle. Its methods are
-// called under the session lock.
+// called under the session lock, which is what guards the mutable fields
+// below (the store itself has no lock of its own).
 type sessionStore struct {
 	dir          string
-	gen          uint64
-	w            *wal.Writer
-	records      int // records in the current WAL generation
+	gen          uint64      // guarded by Session.mu
+	w            *wal.Writer // guarded by Session.mu
+	records      int         // records in the current WAL generation; guarded by Session.mu
 	compactEvery int
 }
 
@@ -251,6 +252,8 @@ func (st *Store) remove(name string) {
 }
 
 // appendFeed logs one feed ahead of its ingestion.
+//
+//lint:holds Session.mu
 func (ss *sessionStore) appendFeed(epoch *int64, rows json.RawMessage) error {
 	if ss.w == nil {
 		return fmt.Errorf("wal unavailable")
@@ -267,11 +270,15 @@ func (ss *sessionStore) appendFeed(epoch *int64, rows json.RawMessage) error {
 }
 
 // shouldCompact reports whether the WAL replay debt crossed the threshold.
+//
+//lint:holds Session.mu
 func (ss *sessionStore) shouldCompact() bool {
 	return ss.records >= ss.compactEvery
 }
 
 // close flushes and closes the WAL.
+//
+//lint:holds Session.mu
 func (ss *sessionStore) close() {
 	if ss.w != nil {
 		ss.w.Close()
@@ -283,6 +290,8 @@ func (ss *sessionStore) close() {
 // the monitor window state and report ring, then rotates to the next WAL
 // generation. Callers hold s.mu; failures leave the current snapshot+WAL
 // pair intact (the log keeps growing until a later compaction succeeds).
+//
+//lint:holds mu Session.mu
 func (s *Session) compactLocked() {
 	ss := s.store
 	ms, err := s.exportMonitor()

@@ -36,8 +36,8 @@ const DefaultMaxReports = 256
 // for concurrent use.
 type Registry struct {
 	mu         sync.RWMutex
-	sessions   map[string]*Session
-	reserved   map[string]struct{} // names mid-Create: bound outside the lock
+	sessions   map[string]*Session // guarded by mu
+	reserved   map[string]struct{} // names mid-Create (bound outside the lock); guarded by mu
 	maxReports int
 	store      *Store // nil: sessions live and die with the process
 }
@@ -59,15 +59,15 @@ type Session struct {
 	model string
 
 	mu      sync.Mutex
-	closed  bool // deleted: feeds and queries answer 404, nothing persists
+	closed  bool // deleted: feeds and queries answer 404, nothing persists; guarded by mu
 	ingest  func(epoch *int64, rows json.RawMessage) (*stream.Report, error)
 	state   func() (epoch int64, batches, n, reports int)
-	last    *ReportJSON
-	reports []ReportJSON // ring of recent emissions, oldest first
-	alerts  int
+	last    *ReportJSON  // guarded by mu
+	reports []ReportJSON // ring of recent emissions, oldest first; guarded by mu
+	alerts  int          // guarded by mu
 	max     int
 
-	store *sessionStore // nil: in-memory session
+	store *sessionStore // nil: in-memory session; guarded by mu
 	// exportMonitor and restoreMonitor bridge the generic monitor state to
 	// its JSON snapshot form; bindSession installs them per model class.
 	exportMonitor  func() (*monitorStateJSON, error)
@@ -123,7 +123,13 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 			unreserve()
 			return nil, fmt.Errorf("persisting session %q: %w", cfg.Name, err)
 		}
+		// The session is not yet published, but install the store under its
+		// lock anyway: the invariant "s.store moves only under s.mu" then
+		// holds unconditionally instead of leaning on the publication
+		// ordering through r.mu below.
+		s.mu.Lock()
 		s.store = ss
+		s.mu.Unlock()
 	}
 	r.mu.Lock()
 	delete(r.reserved, cfg.Name)
@@ -226,9 +232,17 @@ func (s *Session) close() {
 // registries have nothing to flush.
 func (r *Registry) Close() error {
 	r.mu.Lock()
-	sessions := make([]*Session, 0, len(r.sessions))
-	for _, s := range r.sessions {
-		sessions = append(sessions, s)
+	// Flush in sorted name order: shutdown work (WAL flushes, future
+	// per-session close hooks) then runs in a deterministic order rather
+	// than the randomized map iteration order.
+	names := make([]string, 0, len(r.sessions))
+	for name := range r.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sessions := make([]*Session, 0, len(names))
+	for _, name := range names {
+		sessions = append(sessions, r.sessions[name])
 	}
 	r.mu.Unlock()
 	for _, s := range sessions {
@@ -473,6 +487,8 @@ func bindCluster(s *Session, cfg *SessionConfig) error {
 // a crash after the acknowledgement can always replay it — and the WAL is
 // compacted into a fresh snapshot once the replay debt crosses the
 // registry's threshold. A deleted session answers 404.
+//
+//lint:wal-before-ingest
 func (s *Session) Feed(epoch *int64, rows json.RawMessage) (*ReportJSON, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -499,6 +515,8 @@ func (s *Session) Feed(epoch *int64, rows json.RawMessage) (*ReportJSON, error) 
 
 // feedLocked runs the intake and report-ring update shared by Feed and WAL
 // replay; callers hold s.mu.
+//
+//lint:holds mu
 func (s *Session) feedLocked(epoch *int64, rows json.RawMessage) (*ReportJSON, error) {
 	rep, err := s.ingest(epoch, rows)
 	if err != nil {

@@ -1,0 +1,165 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"focus/internal/serve"
+)
+
+// TestRegistryCloseRefusesIntake pins the graceful-shutdown contract:
+// after Registry.Close every session handle refuses feeds and queries, and
+// everything acknowledged before the close survives a reopen. Several
+// sessions are created in non-sorted order so the close walks more than
+// one name.
+func TestRegistryCloseRefusesIntake(t *testing.T) {
+	dir := t.TempDir()
+	r, warnings, err := serve.OpenRegistry(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings on fresh open: %v", warnings)
+	}
+	names := []string{"cb", "ca", "cc"}
+	handles := make(map[string]*serve.Session)
+	for _, name := range names {
+		s, err := r.Create(parseConfig(t, clusterSession(name)))
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		if _, err := s.Feed(nil, json.RawMessage(uniformRows())); err != nil {
+			t.Fatalf("feed %s: %v", name, err)
+		}
+		handles[name] = s
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, name := range names {
+		s := handles[name]
+		if _, err := s.Feed(nil, json.RawMessage(uniformRows())); err == nil {
+			t.Errorf("%s: feed after Close succeeded", name)
+		}
+		if _, err := s.State(); err == nil {
+			t.Errorf("%s: state after Close succeeded", name)
+		}
+		if _, _, err := s.Reports(); err == nil {
+			t.Errorf("%s: reports after Close succeeded", name)
+		}
+	}
+
+	r2, warnings, err := serve.OpenRegistry(dir, 1000)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings on reopen: %v", warnings)
+	}
+	defer r2.Close()
+	for _, name := range names {
+		s, ok := r2.Get(name)
+		if !ok {
+			t.Fatalf("%s lost across close/reopen", name)
+		}
+		st, err := s.State()
+		if err != nil {
+			t.Fatalf("%s: state after reopen: %v", name, err)
+		}
+		if st.Reports != 1 {
+			t.Errorf("%s: restored with %d reports, want 1", name, st.Reports)
+		}
+	}
+}
+
+// TestInMemoryCloseRefusesIntake pins that Close has the same
+// refuse-intake semantics on an in-memory registry, with nothing to flush.
+func TestInMemoryCloseRefusesIntake(t *testing.T) {
+	r := serve.NewRegistry()
+	s, err := r.Create(parseConfig(t, litsSession("m")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := s.Feed(nil, json.RawMessage(`[[0,1]]`)); err == nil {
+		t.Fatal("feed after Close succeeded")
+	}
+}
+
+// TestDurableCreateImmediateFeed pins the store-publication ordering in
+// Create: a durable session must be safely feedable the instant Create
+// returns, including from concurrent goroutines racing the handle against
+// registry lookups. Run under -race this guards the install of the
+// session's durable store handle; every acknowledged batch must survive a
+// close and reopen.
+func TestDurableCreateImmediateFeed(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := serve.OpenRegistry(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 4
+	const batches = 3
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", i)
+			s, err := r.Create(parseConfig(t, clusterSession(name)))
+			if err != nil {
+				t.Errorf("create %s: %v", name, err)
+				return
+			}
+			var inner sync.WaitGroup
+			for j := 0; j < batches; j++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					if _, err := s.Feed(nil, json.RawMessage(uniformRows())); err != nil {
+						t.Errorf("feed %s: %v", name, err)
+					}
+				}()
+			}
+			// A racing lookup through the registry must observe either
+			// not-found (pre-publication) or a fully feedable session.
+			if other, ok := r.Get(name); ok {
+				if _, err := other.State(); err != nil {
+					t.Errorf("state via Get(%s): %v", name, err)
+				}
+			}
+			inner.Wait()
+		}(i)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	r2, warnings, err := serve.OpenRegistry(dir, 1000)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings on reopen: %v", warnings)
+	}
+	defer r2.Close()
+	for i := 0; i < sessions; i++ {
+		name := fmt.Sprintf("s%d", i)
+		s, ok := r2.Get(name)
+		if !ok {
+			t.Fatalf("%s lost across close/reopen", name)
+		}
+		st, err := s.State()
+		if err != nil {
+			t.Fatalf("%s: state after reopen: %v", name, err)
+		}
+		if st.Reports != batches {
+			t.Errorf("%s: restored with %d reports, want %d", name, st.Reports, batches)
+		}
+	}
+}

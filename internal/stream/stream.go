@@ -91,20 +91,20 @@ type Monitor[D, M any] struct {
 	opts Options
 	mc   core.ModelClass[D, M]
 
-	live core.Window[D, M]
-	ref  core.Window[D, M]
+	live core.Window[D, M] // guarded by mu
+	ref  core.Window[D, M] // guarded by mu
 
-	refModel    M
-	hasRefModel bool
-	refPromoted bool // the reference was promoted from a window (PreviousWindow)
-	liveModel   M
-	liveModelOK bool
+	refModel    M    // guarded by mu
+	hasRefModel bool // guarded by mu
+	refPromoted bool // the reference was promoted from a window (PreviousWindow); guarded by mu
+	liveModel   M    // guarded by mu
+	liveModelOK bool // guarded by mu
 
-	epochs  []int64 // one entry per live batch, oldest first
-	batches []D     // the live batches themselves, oldest first (for ExportState)
-	epoch   int64
-	seq     int
-	last    *Report
+	epochs  []int64 // one entry per live batch, oldest first; guarded by mu
+	batches []D     // the live batches themselves, oldest first (for ExportState); guarded by mu
+	epoch   int64   // guarded by mu
+	seq     int     // guarded by mu
+	last    *Report // guarded by mu
 }
 
 // New creates a monitor for the given model class. ref is the pinned
@@ -176,6 +176,8 @@ func (m *Monitor[D, M]) IngestEpoch(epoch int64, batch D) (*Report, error) {
 }
 
 // ingest is the intake path; callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor[D, M]) ingest(epoch int64, batch D) (*Report, error) {
 	if epoch < m.epoch {
 		return nil, fmt.Errorf("stream: epoch %d regresses below %d", epoch, m.epoch)
@@ -255,7 +257,9 @@ func (m *Monitor[D, M]) ingest(epoch int64, batch D) (*Report, error) {
 	return rep, nil
 }
 
-// expire removes the oldest batch from the live window.
+// expire removes the oldest batch from the live window; callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor[D, M]) expire() {
 	m.live.RemoveFront()
 	m.epochs = m.epochs[1:]
@@ -263,7 +267,9 @@ func (m *Monitor[D, M]) expire() {
 	m.liveModelOK = false
 }
 
-// clear empties the live window (tumbling mode).
+// clear empties the live window (tumbling mode); callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor[D, M]) clear() {
 	for m.live.Batches() > 0 {
 		m.expire()
@@ -271,7 +277,10 @@ func (m *Monitor[D, M]) clear() {
 }
 
 // induceLive induces the current window's model, reusing the one the last
-// emission induced when the window has not advanced since.
+// emission induced when the window has not advanced since; callers hold
+// m.mu.
+//
+//lint:holds mu
 func (m *Monitor[D, M]) induceLive() (M, error) {
 	if m.liveModelOK {
 		return m.liveModel, nil
@@ -285,7 +294,10 @@ func (m *Monitor[D, M]) induceLive() (M, error) {
 	return model, nil
 }
 
-// snapshot makes the live window the reference (PreviousWindow mode).
+// snapshot makes the live window the reference (PreviousWindow mode);
+// callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor[D, M]) snapshot() error {
 	model, err := m.induceLive()
 	if err != nil {
@@ -302,7 +314,9 @@ func (m *Monitor[D, M]) snapshot() error {
 // pipeline over the reference and window raw data (Section 3.4 applied to
 // the monitoring statistic). Bit-identical to qualifying the batch
 // datasets directly: the windows' concatenated data induce the same models
-// as their mergeable summaries.
+// as their mergeable summaries. Callers hold m.mu.
+//
+//lint:holds mu
 func (m *Monitor[D, M]) qualify(observed float64, seed int64) (*core.Qualification, error) {
 	refData := m.ref.Data()
 	curData := m.live.Data()

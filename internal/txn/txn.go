@@ -80,7 +80,7 @@ type Dataset struct {
 	// memo lazily caches one derived structure of the finished dataset
 	// (the vertical counting index of internal/apriori); see Memo.
 	memoMu sync.Mutex
-	memo   any
+	memo   any // guarded by memoMu
 }
 
 // New creates an empty transaction dataset over numItems items.
