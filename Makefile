@@ -45,10 +45,14 @@ apicheck:
 # artifact, so each PR carries its benchmark snapshot; -require fails the
 # run if any of the headline pairs ever drops out of the trajectory: the
 # counting and mining backend pairs, the vertical-engine end-to-end wins
-# (Fig7 curves, bootstrap qualification), the ingestion-path pair, and the
-# incremental-vs-rebuild monitor pair. -order additionally pins the
-# relationship that pair exists for: the incremental monitor path must not
-# regress past a from-scratch rebuild. The ordering pair is re-measured at
+# (Fig7 curves, bootstrap qualification), the ingestion-path pair, the
+# incremental-vs-rebuild monitor pair, and the fleet serving-latency
+# percentiles focusload measures through a self-hosted 3-member router
+# (cmd/focusload -selfhost emits them in go-bench format). -order
+# additionally pins the relationships those entries exist for: the
+# incremental monitor path must not regress past a from-scratch rebuild,
+# and the fleet latency percentiles must stay ordered (a P50 above P99
+# means the harness's measurement itself broke). The ordering pair is re-measured at
 # 20 iterations (later lines win in benchjson) because a single iteration
 # charges the incremental monitor's one-time window warm-up to its only
 # op, inverting the steady-state relationship the trajectory exists to
@@ -58,11 +62,12 @@ apicheck:
 # the analyzers run in `make ci` and the focuslint CI job, and keeping them
 # out of bench keeps benchmark wall time a pure measurement of the code
 # under test.
-BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap,BenchmarkMineTrie,BenchmarkMineVertical,BenchmarkFig7LitsSDvsSF,BenchmarkQualifyLits,BenchmarkPump/source,BenchmarkPump/readcsv,BenchmarkLitsMonitorIncremental,BenchmarkLitsRebuildFromScratch
-BENCH_ORDER := "BenchmarkLitsMonitorIncremental<=BenchmarkLitsRebuildFromScratch"
+BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap,BenchmarkMineTrie,BenchmarkMineVertical,BenchmarkFig7LitsSDvsSF,BenchmarkQualifyLits,BenchmarkPump/source,BenchmarkPump/readcsv,BenchmarkLitsMonitorIncremental,BenchmarkLitsRebuildFromScratch,BenchmarkFleetCreateP50,BenchmarkFleetCreateP99,BenchmarkFleetFeedP50,BenchmarkFleetFeedP95,BenchmarkFleetFeedP99
+BENCH_ORDER := "BenchmarkLitsMonitorIncremental<=BenchmarkLitsRebuildFromScratch,BenchmarkFleetFeedP50<=BenchmarkFleetFeedP95,BenchmarkFleetFeedP95<=BenchmarkFleetFeedP99"
 bench:
 	go test -run XXX -bench . -benchmem -benchtime 1x ./... | tee bench.out
 	go test -run XXX -bench 'BenchmarkLitsMonitorIncremental|BenchmarkLitsRebuildFromScratch' -benchmem -benchtime 20x ./internal/stream/ | tee -a bench.out
+	go run ./cmd/focusload -selfhost 3 -sessions 12 -batches 10 -concurrency 4 -bench | tee -a bench.out
 	go run ./cmd/benchjson -require $(BENCH_REQUIRE) -order $(BENCH_ORDER) < bench.out > BENCH_focus.json
 	@rm -f bench.out
 	@echo "wrote BENCH_focus.json"

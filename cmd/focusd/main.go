@@ -22,6 +22,11 @@
 // scripts (and the smoke test) can bind port 0 and discover the address;
 // when -data restores sessions, a "focusd restored N sessions" line
 // follows it.
+//
+// On SIGTERM/SIGINT the health endpoint flips to 503 with Retry-After for
+// -drain-grace before the listener shuts down, so a fronting focusrouter
+// (see cmd/focusrouter) stops routing new work to a member that is about
+// to go away.
 package main
 
 import (
@@ -57,6 +62,8 @@ func run(args []string, stdout io.Writer) error {
 	dataDir := fs.String("data", "", "data directory for durable sessions (empty = in-memory only)")
 	compactEvery := fs.Int("compact-every", serve.DefaultCompactEvery,
 		"WAL records per session before compacting into a fresh snapshot")
+	drainGrace := fs.Duration("drain-grace", 0,
+		"on SIGTERM, keep serving this long after /healthz flips to 503 so routers stop sending work")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +108,13 @@ func run(args []string, stdout io.Writer) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	// Flip /healthz to 503 + Retry-After first, then keep serving through
+	// the grace window: a router health-probing this member sees it drain
+	// and stops routing new work before in-flight requests are cut off.
+	reg.SetDraining(true)
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

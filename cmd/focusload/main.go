@@ -1,0 +1,336 @@
+// Command focusload drives a focus fleet through its router and measures
+// router-path latency: N concurrent workers create monitor sessions and
+// feed them batches, recording per-operation wall time and reporting
+// p50/p95/p99 percentiles for creates and feeds separately, plus a
+// log-scale latency histogram.
+//
+//	focusload -router http://127.0.0.1:8090 -sessions 32 -batches 50
+//
+// With -selfhost N the harness is self-contained: it boots N in-process
+// focusd members and a router on loopback listeners (real HTTP round
+// trips, no external processes) and drives that. `make bench` uses this
+// mode, and with -bench the percentiles are printed in `go test -bench`
+// format —
+//
+//	BenchmarkFleetFeedP99 160 184042 ns/op
+//
+// — so benchjson folds the fleet's serving latency into BENCH_focus.json
+// next to the engine microbenchmarks, and the CI bench-delta artifact
+// tracks it per PR.
+//
+// -rate caps total feed throughput (batches/sec across all workers);
+// 0 means unthrottled.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"focus/internal/fleet"
+	"focus/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "focusload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("focusload", flag.ContinueOnError)
+	router := fs.String("router", "", "base URL of a running focusrouter (e.g. http://127.0.0.1:8090)")
+	selfhost := fs.Int("selfhost", 0, "boot this many in-process members + a router instead of targeting -router")
+	sessions := fs.Int("sessions", 8, "sessions to create")
+	batches := fs.Int("batches", 20, "batches to feed each session")
+	rows := fs.Int("rows", 40, "rows per batch")
+	concurrency := fs.Int("concurrency", 4, "concurrent workers")
+	rate := fs.Float64("rate", 0, "target total feed rate in batches/sec (0 = unthrottled)")
+	bench := fs.Bool("bench", false, "print percentiles in `go test -bench` format for benchjson")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*router == "") == (*selfhost == 0) {
+		return fmt.Errorf("exactly one of -router and -selfhost is required")
+	}
+	if *sessions < 1 || *batches < 1 || *rows < 1 || *concurrency < 1 {
+		return fmt.Errorf("-sessions, -batches, -rows and -concurrency must be positive")
+	}
+
+	base := *router
+	if *selfhost > 0 {
+		var stop func()
+		var err error
+		base, stop, err = selfhostFleet(*selfhost)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	lo := &loader{
+		base:    strings.TrimSuffix(base, "/"),
+		client:  &http.Client{Timeout: 60 * time.Second},
+		rows:    *rows,
+		batches: *batches,
+	}
+	if *rate > 0 {
+		lo.throttle = time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer lo.throttle.Stop()
+	}
+
+	start := time.Now()
+	if err := lo.drive(*sessions, *concurrency); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *bench {
+		// benchjson's input grammar: a pkg: header, then
+		// "BenchmarkName iterations ns ns/op" lines.
+		fmt.Fprintln(stdout, "pkg: focus/cmd/focusload")
+		for _, group := range []struct {
+			name    string
+			samples []time.Duration
+		}{{"Create", lo.creates}, {"Feed", lo.feeds}} {
+			for _, pct := range []struct {
+				label string
+				q     float64
+			}{{"P50", 0.50}, {"P95", 0.95}, {"P99", 0.99}} {
+				fmt.Fprintf(stdout, "BenchmarkFleet%s%s %d %d ns/op\n",
+					group.name, pct.label, len(group.samples), percentile(group.samples, pct.q).Nanoseconds())
+			}
+		}
+		return nil
+	}
+
+	ops := len(lo.creates) + len(lo.feeds)
+	fmt.Fprintf(stdout, "focusload: %d sessions x %d batches (%d rows each) through %s\n",
+		*sessions, *batches, *rows, base)
+	fmt.Fprintf(stdout, "%d ops in %v (%.1f ops/sec)\n", ops, elapsed.Round(time.Millisecond),
+		float64(ops)/elapsed.Seconds())
+	printStats(stdout, "create", lo.creates)
+	printStats(stdout, "feed", lo.feeds)
+	return nil
+}
+
+// loader drives the workload and records per-operation latencies.
+type loader struct {
+	base     string
+	client   *http.Client
+	rows     int
+	batches  int
+	throttle *time.Ticker // nil = unthrottled; shared across workers
+
+	mu      sync.Mutex
+	creates []time.Duration // guarded by mu
+	feeds   []time.Duration // guarded by mu
+}
+
+// drive creates n sessions and feeds each its batch stream, spread over
+// conc workers by session index.
+func (lo *loader) drive(n, conc int) error {
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += conc {
+				if err := lo.driveSession(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// driveSession creates one session and feeds its whole batch stream.
+func (lo *loader) driveSession(i int) error {
+	name := fmt.Sprintf("load-%04d", i)
+	elapsed, err := lo.post("/v1/sessions", sessionBody(name, lo.rows, i))
+	if err != nil {
+		return fmt.Errorf("create %s: %w", name, err)
+	}
+	lo.mu.Lock()
+	lo.creates = append(lo.creates, elapsed)
+	lo.mu.Unlock()
+	for e := 1; e <= lo.batches; e++ {
+		if lo.throttle != nil {
+			<-lo.throttle.C
+		}
+		elapsed, err := lo.post("/v1/sessions/"+name+"/batches", batchBody(e, lo.rows, i+e))
+		if err != nil {
+			return fmt.Errorf("feed %s batch %d: %w", name, e, err)
+		}
+		lo.mu.Lock()
+		lo.feeds = append(lo.feeds, elapsed)
+		lo.mu.Unlock()
+	}
+	return nil
+}
+
+// post issues one timed POST and requires a 2xx answer.
+func (lo *loader) post(path, body string) (time.Duration, error) {
+	start := time.Now()
+	resp, err := lo.client.Post(lo.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	elapsed := time.Since(start)
+	if resp.StatusCode >= 300 {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
+	}
+	return elapsed, nil
+}
+
+// sessionBody is the create payload: a 1-attribute cluster session whose
+// reference spreads rows evenly over 4 grid cells.
+func sessionBody(name string, rows, shift int) string {
+	return fmt.Sprintf(`{
+		"name": %q,
+		"model": "cluster",
+		"schema": {"attrs": [{"name": "x", "kind": "numeric", "min": 0, "max": 100}]},
+		"grid_attrs": ["x"],
+		"grid_bins": 4,
+		"min_density": 0.05,
+		"window": 2,
+		"threshold": 0.5,
+		"reference": %s
+	}`, name, rowsJSON(rows, shift))
+}
+
+// batchBody is one feed payload.
+func batchBody(epoch, rows, shift int) string {
+	return fmt.Sprintf(`{"epoch": %d, "rows": %s}`, epoch, rowsJSON(rows, shift))
+}
+
+// rowsJSON rotates rows through the 4 grid cells, offset by shift, so
+// consecutive batches drift deterministically.
+func rowsJSON(rows, shift int) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"x": %d}`, ((i+shift)%4)*25+10)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// percentile returns the q-th percentile of samples (nearest-rank).
+func percentile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// printStats renders one operation class: count, percentiles and a
+// doubling-bucket latency histogram.
+func printStats(w io.Writer, label string, samples []time.Duration) {
+	if len(samples) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-6s n=%d p50=%v p95=%v p99=%v max=%v\n", label, len(samples),
+		percentile(samples, 0.50).Round(time.Microsecond),
+		percentile(samples, 0.95).Round(time.Microsecond),
+		percentile(samples, 0.99).Round(time.Microsecond),
+		percentile(samples, 1.0).Round(time.Microsecond))
+	buckets := make(map[int]int)
+	for _, s := range samples {
+		b := 0
+		for d := s; d > 100*time.Microsecond; d /= 2 {
+			b++
+		}
+		buckets[b]++
+	}
+	keys := make([]int, 0, len(buckets))
+	for b := range buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	for _, b := range keys {
+		lo := 100 * time.Microsecond * (1 << b) / 2
+		hi := 100 * time.Microsecond * (1 << b)
+		if b == 0 {
+			lo = 0
+		}
+		fmt.Fprintf(w, "  %10v - %-10v %s (%d)\n", lo, hi, strings.Repeat("#", bar(buckets[b], len(samples))), buckets[b])
+	}
+}
+
+// bar scales a bucket count to a 1..40 column bar.
+func bar(count, total int) int {
+	n := count * 40 / total
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// selfhostFleet boots n in-memory focusd members and a router over them,
+// all on loopback listeners in this process, and returns the router's base
+// URL plus a shutdown function. The round trips are real HTTP over TCP —
+// the same path a production router serves — just without the process
+// boundary.
+func selfhostFleet(n int) (string, func(), error) {
+	var stops []func()
+	stop := func() {
+		for _, fn := range stops {
+			fn()
+		}
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return "", nil, err
+		}
+		srv := &http.Server{Handler: serve.NewRegistry().Handler()}
+		go srv.Serve(ln) //nolint:errcheck
+		stops = append(stops, func() { srv.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	rt := fleet.NewRouter(addrs, 0, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: rt.Handler()}
+	go srv.Serve(ln) //nolint:errcheck
+	stops = append(stops, func() { srv.Close() })
+	return "http://" + ln.Addr().String(), stop, nil
+}

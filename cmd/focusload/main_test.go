@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFocusloadSelfhostBench runs the self-contained harness end to end
+// and checks the -bench output parses as benchjson input: a pkg header
+// plus one line per percentile with positive latencies and the right
+// sample counts.
+func TestFocusloadSelfhostBench(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-selfhost", "2", "-sessions", "4", "-batches", "3", "-concurrency", "2", "-bench"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "pkg: focus/cmd/focusload" {
+		t.Fatalf("first line %q, want pkg header", lines[0])
+	}
+	want := map[string]string{
+		"BenchmarkFleetCreateP50": "4",
+		"BenchmarkFleetCreateP95": "4",
+		"BenchmarkFleetCreateP99": "4",
+		"BenchmarkFleetFeedP50":   "12",
+		"BenchmarkFleetFeedP95":   "12",
+		"BenchmarkFleetFeedP99":   "12",
+	}
+	if len(lines) != 1+len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), 1+len(want), out.String())
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[3] != "ns/op" {
+			t.Fatalf("malformed bench line %q", line)
+		}
+		samples, ok := want[fields[0]]
+		if !ok {
+			t.Fatalf("unexpected benchmark %q", fields[0])
+		}
+		delete(want, fields[0])
+		if fields[1] != samples {
+			t.Fatalf("%s has %s samples, want %s", fields[0], fields[1], samples)
+		}
+		if strings.HasPrefix(fields[2], "-") || fields[2] == "0" {
+			t.Fatalf("%s latency %s not positive", fields[0], fields[2])
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing benchmarks: %v", want)
+	}
+}
+
+// TestFocusloadHumanOutput checks the default (non-bench) report carries
+// the percentile summary for both operation classes.
+func TestFocusloadHumanOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-selfhost", "2", "-sessions", "2", "-batches", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, needle := range []string{"create n=2", "feed   n=4", "p50=", "p99="} {
+		if !strings.Contains(out.String(), needle) {
+			t.Fatalf("output missing %q:\n%s", needle, out.String())
+		}
+	}
+}
+
+// TestFocusloadFlagValidation checks the mode flags are mutually
+// exclusive and required.
+func TestFocusloadFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Fatalf("no mode flags: want error")
+	}
+	if err := run([]string{"-router", "http://x", "-selfhost", "2"}, &out); err == nil {
+		t.Fatalf("both mode flags: want error")
+	}
+	if err := run([]string{"-selfhost", "2", "-sessions", "0"}, &out); err == nil {
+		t.Fatalf("zero sessions: want error")
+	}
+}

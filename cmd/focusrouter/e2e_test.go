@@ -1,0 +1,333 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fleetSession is a qualified cluster session: qualification consumes a
+// per-report RNG stream, so byte-identical reports across kills and
+// migrations prove the recovered/migrated monitors resume the exact seed
+// sequence, not just the window counts.
+const fleetSession = `{
+	"name": %q,
+	"model": "cluster",
+	"schema": {"attrs": [{"name": "x", "kind": "numeric", "min": 0, "max": 100}]},
+	"grid_attrs": ["x"],
+	"grid_bins": 4,
+	"min_density": 0.05,
+	"window": 2,
+	"threshold": 0.5,
+	"qualify": true,
+	"replicates": 19,
+	"seed": 11,
+	"reference": [%s]
+}`
+
+func fleetRows(shift int) string {
+	var rows []string
+	for i := 0; i < 40; i++ {
+		rows = append(rows, fmt.Sprintf(`{"x": %d}`, ((i+shift)%4)*25+10))
+	}
+	return strings.Join(rows, ",")
+}
+
+// proc is one running focusd or focusrouter child.
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+	addr string
+}
+
+// startProc boots a binary, waits for its "NAME listening on ADDR" line
+// and returns the process handle.
+func startProc(t *testing.T, bin, name string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("StdoutPipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	buf := make([]byte, 256)
+	line := ""
+	for !strings.Contains(line, "\n") {
+		n, err := stdout.Read(buf)
+		if n > 0 {
+			line += string(buf[:n])
+		}
+		if err != nil {
+			t.Fatalf("reading %s startup line: %v (got %q)", name, err, line)
+		}
+	}
+	line = line[:strings.Index(line, "\n")]
+	prefix := name + " listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected %s startup line %q", name, line)
+	}
+	go io.Copy(io.Discard, stdout)
+	addr := strings.TrimPrefix(line, prefix)
+	return &proc{cmd: cmd, base: "http://" + addr, addr: addr}
+}
+
+// request issues a request against the process and returns status + body.
+func (p *proc) request(t *testing.T, method, path, body string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 30 * time.Second}
+	req, err := http.NewRequest(method, p.base+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: reading body: %v", method, path, err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// must issues a request and fails the test on a non-2xx answer.
+func (p *proc) must(t *testing.T, method, path, body string) string {
+	t.Helper()
+	status, out := p.request(t, method, path, body)
+	if status >= 300 {
+		t.Fatalf("%s %s: status %d: %s", method, path, status, out)
+	}
+	return out
+}
+
+// memberSessions lists the session names a member hosts, queried directly.
+func memberSessions(t *testing.T, p *proc) []string {
+	t.Helper()
+	var list struct {
+		Sessions []struct {
+			Name string `json:"name"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(p.must(t, http.MethodGet, "/v1/sessions", "")), &list); err != nil {
+		t.Fatalf("decoding member list: %v", err)
+	}
+	var names []string
+	for _, s := range list.Sessions {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// TestFleetEndToEnd is the multi-node acceptance test: three durable
+// focusd members behind a focusrouter, sessions created through the
+// router landing on distinct shards, one member SIGKILLed mid-stream and
+// restarted on its data directory (WAL recovery), another gracefully
+// retired (snapshot-transfer migration) — and every session's state and
+// report bodies must end byte-identical to an uninterrupted single-node
+// in-memory run of the same batch streams.
+func TestFleetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary fleet test in -short mode")
+	}
+	dir := t.TempDir()
+	focusd := filepath.Join(dir, "focusd")
+	focusrouter := filepath.Join(dir, "focusrouter")
+	for bin, pkg := range map[string]string{focusd: "focus/cmd/focusd", focusrouter: "focus/cmd/focusrouter"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("go build %s: %v", pkg, err)
+		}
+	}
+
+	const nSessions = 10
+	const killAfter = 3
+	names := make([]string, nSessions)
+	creates := make([]string, nSessions)
+	batches := make([][]string, nSessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("sess-%02d", i)
+		creates[i] = fmt.Sprintf(fleetSession, names[i], fleetRows(i%4))
+		batches[i] = make([]string, 6)
+		for e := range batches[i] {
+			batches[i][e] = fmt.Sprintf(`{"epoch": %d, "rows": [%s]}`, e+1, fleetRows((i+e)%4))
+		}
+	}
+
+	// The uninterrupted control: one in-memory focusd fed every stream.
+	control := startProc(t, focusd, "focusd", "-addr", "127.0.0.1:0")
+	for i, name := range names {
+		control.must(t, http.MethodPost, "/v1/sessions", creates[i])
+		for _, b := range batches[i] {
+			control.must(t, http.MethodPost, "/v1/sessions/"+name+"/batches", b)
+		}
+	}
+	wantState := make(map[string]string, nSessions)
+	wantReports := make(map[string]string, nSessions)
+	for _, name := range names {
+		wantState[name] = control.must(t, http.MethodGet, "/v1/sessions/"+name, "")
+		wantReports[name] = control.must(t, http.MethodGet, "/v1/sessions/"+name+"/reports", "")
+	}
+
+	// The fleet: three durable members behind a router.
+	members := make([]*proc, 3)
+	dataDirs := make([]string, 3)
+	for i := range members {
+		dataDirs[i] = filepath.Join(dir, fmt.Sprintf("member%d", i))
+		members[i] = startProc(t, focusd, "focusd",
+			"-addr", "127.0.0.1:0", "-data", dataDirs[i], "-compact-every", "2")
+	}
+	router := startProc(t, focusrouter, "focusrouter", "-addr", "127.0.0.1:0",
+		"-members", members[0].addr+","+members[1].addr+","+members[2].addr)
+
+	for i, name := range names {
+		router.must(t, http.MethodPost, "/v1/sessions", creates[i])
+		for _, b := range batches[i][:killAfter] {
+			router.must(t, http.MethodPost, "/v1/sessions/"+name+"/batches", b)
+		}
+	}
+
+	// Placement: every session on exactly one shard, fleet spread over >1.
+	hosts := make(map[string]int)
+	shardsUsed := 0
+	for i, m := range members {
+		hosted := memberSessions(t, m)
+		if len(hosted) > 0 {
+			shardsUsed++
+		}
+		for _, name := range hosted {
+			if prev, ok := hosts[name]; ok {
+				t.Fatalf("session %s hosted on members %d and %d", name, prev, i)
+			}
+			hosts[name] = i
+		}
+	}
+	if len(hosts) != nSessions {
+		t.Fatalf("fleet hosts %d sessions, want %d", len(hosts), nSessions)
+	}
+	if shardsUsed < 2 {
+		t.Fatalf("all sessions landed on one member; want spread across shards")
+	}
+
+	// SIGKILL the member hosting sess-00: no shutdown hook runs.
+	victim := hosts[names[0]]
+	victimSessions := memberSessions(t, members[victim])
+	if err := members[victim].cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing member %d: %v", victim, err)
+	}
+	members[victim].cmd.Wait()
+
+	// The dead shard's sessions answer 502 through the router; the fleet
+	// list degrades to naming the unreachable member instead of failing.
+	if status, _ := router.request(t, http.MethodPost,
+		"/v1/sessions/"+names[0]+"/batches", batches[0][killAfter]); status != http.StatusBadGateway {
+		t.Fatalf("feed to killed member: status %d, want 502", status)
+	}
+	var degraded struct {
+		Sessions    []json.RawMessage `json:"sessions"`
+		Unreachable []string          `json:"unreachable"`
+	}
+	if err := json.Unmarshal([]byte(router.must(t, http.MethodGet, "/v1/sessions", "")), &degraded); err != nil {
+		t.Fatalf("decoding degraded list: %v", err)
+	}
+	if len(degraded.Unreachable) != 1 || degraded.Unreachable[0] != members[victim].addr {
+		t.Fatalf("degraded list unreachable = %v, want [%s]", degraded.Unreachable, members[victim].addr)
+	}
+	if len(degraded.Sessions) != nSessions-len(victimSessions) {
+		t.Fatalf("degraded list has %d sessions, want %d", len(degraded.Sessions), nSessions-len(victimSessions))
+	}
+
+	// Restart the member on the same address and data directory: WAL
+	// replay recovers its sessions; the router needs no reconfiguration.
+	members[victim] = startProc(t, focusd, "focusd",
+		"-addr", members[victim].addr, "-data", dataDirs[victim], "-compact-every", "2")
+	recovered := memberSessions(t, members[victim])
+	if len(recovered) != len(victimSessions) {
+		t.Fatalf("restarted member recovered %d sessions %v, want %d %v",
+			len(recovered), recovered, len(victimSessions), victimSessions)
+	}
+
+	// Finish every stream through the router.
+	for i, name := range names {
+		for _, b := range batches[i][killAfter:] {
+			router.must(t, http.MethodPost, "/v1/sessions/"+name+"/batches", b)
+		}
+	}
+
+	// Gracefully retire a different member: its sessions migrate to
+	// survivors by snapshot transfer.
+	retiree := -1
+	for i := range members {
+		if i != victim && len(memberSessions(t, members[i])) > 0 {
+			retiree = i
+			break
+		}
+	}
+	if retiree < 0 {
+		t.Fatalf("no second member hosts sessions; cannot exercise migration")
+	}
+	retireeSessions := memberSessions(t, members[retiree])
+	var removed struct {
+		Migrated int `json:"migrated"`
+	}
+	if err := json.Unmarshal([]byte(router.must(t, http.MethodDelete,
+		"/v1/fleet/members/"+members[retiree].addr, "")), &removed); err != nil {
+		t.Fatalf("decoding remove response: %v", err)
+	}
+	if removed.Migrated != len(retireeSessions) {
+		t.Fatalf("migrated %d sessions off retiring member, want %d", removed.Migrated, len(retireeSessions))
+	}
+	if left := memberSessions(t, members[retiree]); len(left) != 0 {
+		t.Fatalf("retired member still hosts %v", left)
+	}
+
+	// Every session — recovered, migrated or untouched — must match the
+	// uninterrupted single-node control byte for byte.
+	for _, name := range names {
+		if got := router.must(t, http.MethodGet, "/v1/sessions/"+name, ""); got != wantState[name] {
+			t.Errorf("session %s state diverges\n got: %s\nwant: %s", name, got, wantState[name])
+		}
+		if got := router.must(t, http.MethodGet, "/v1/sessions/"+name+"/reports", ""); got != wantReports[name] {
+			t.Errorf("session %s reports diverge\n got: %s\nwant: %s", name, got, wantReports[name])
+		}
+	}
+
+	// The fleet views settle back to a clean state: all sessions listed,
+	// nobody unreachable, merged summary counts every session.
+	var final struct {
+		Sessions    []json.RawMessage `json:"sessions"`
+		Unreachable []string          `json:"unreachable"`
+	}
+	if err := json.Unmarshal([]byte(router.must(t, http.MethodGet, "/v1/sessions", "")), &final); err != nil {
+		t.Fatalf("decoding final list: %v", err)
+	}
+	if len(final.Sessions) != nSessions || len(final.Unreachable) != 0 {
+		t.Fatalf("final list: %d sessions, unreachable %v; want %d and none",
+			len(final.Sessions), final.Unreachable, nSessions)
+	}
+	var sum struct {
+		Sessions int `json:"sessions"`
+		Reports  int `json:"reports"`
+	}
+	if err := json.Unmarshal([]byte(router.must(t, http.MethodGet, "/v1/summary", "")), &sum); err != nil {
+		t.Fatalf("decoding fleet summary: %v", err)
+	}
+	if sum.Sessions != nSessions {
+		t.Fatalf("fleet summary sessions = %d, want %d", sum.Sessions, nSessions)
+	}
+}

@@ -1,0 +1,105 @@
+// Command focusrouter fronts a fleet of focusd members with the familiar
+// single-node HTTP API. Sessions are placed by consistent hashing on the
+// session name (so every member owns a stable slice of the namespace and
+// membership changes move only the minimal set of sessions), per-session
+// requests are proxied to the owning shard, and fleet-wide views — the
+// session list and the drift summary — are scatter-gathered: every member
+// ships its own mergeable summary and the router merges them centrally,
+// so raw rows never leave their shard.
+//
+//	focusrouter -addr 127.0.0.1:8090 -members 127.0.0.1:8081,127.0.0.1:8082
+//
+// Joining a member (POST /v1/fleet/members) or retiring one (DELETE
+// /v1/fleet/members/{addr}) re-homes the affected sessions by
+// snapshot-transfer migration: the session drains on its old owner, its
+// sealed state ships to the new one, and reports resume bit-identically
+// there. The endpoint table lives on fleet.Router.Handler; the README's
+// "Multi-node serving" section walks through the API with curl.
+//
+// On startup focusrouter prints one line, "focusrouter listening on ADDR",
+// so scripts can bind port 0 and discover the address.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"focus/internal/fleet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "focusrouter:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the router until SIGINT/SIGTERM, writing the listening line
+// to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("focusrouter", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address (use port 0 for an ephemeral port)")
+	members := fs.String("members", "", "comma-separated focusd member addresses (host:port)")
+	vnodes := fs.Int("vnodes", fleet.DefaultVirtualNodes, "virtual nodes per member on the hash ring")
+	timeout := fs.Duration("member-timeout", 30*time.Second, "per-request timeout for member calls")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(*members, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return errors.New("at least one -members address is required")
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	rt := fleet.NewRouter(addrs, *vnodes, client)
+	for _, m := range rt.Members() {
+		if !m.Healthy() {
+			fmt.Fprintf(os.Stderr, "focusrouter: member %s is not answering healthy (keeping it on the ring)\n", m.Addr())
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The listening line must stay first on stdout: scripts scan for it.
+	fmt.Fprintf(stdout, "focusrouter listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring points each member contributes.
+// More points smooth the load distribution (the per-member share of a large
+// key population concentrates around the fair share as points grow) at a
+// small cost in ring size and rebuild time.
+const DefaultVirtualNodes = 160
+
+// Ring is a deterministic consistent-hash ring with virtual nodes. Every
+// key (session name) maps to the member owning the first ring point at or
+// after the key's hash; adding or removing a member moves only the keys
+// whose arc the change affects — roughly 1/n of them — and never shuffles
+// a key between two surviving members.
+//
+// The zero Ring is not usable; construct with NewRing. Ring is not
+// concurrency-safe: callers (Router) serialize membership changes and
+// lookups under their own lock.
+type Ring struct {
+	vnodes int
+	// points is the sorted ring: hash of "<member>#<i>" -> member, ties
+	// broken by member name so the ring is a pure function of membership.
+	points []ringPoint
+	// members holds the current membership, sorted.
+	members []string
+}
+
+// ringPoint is one virtual node: the placed hash and its owner.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing returns an empty ring placing vnodes virtual nodes per member
+// (<= 0 uses DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// hashKey is the ring's hash function: 64-bit FNV-1a with a splitmix64
+// finalizer, fixed forever — the placement of sessions on members must not
+// change across versions, or a rolling upgrade would silently re-home
+// every session. The finalizer matters: keys here are highly structured
+// ("session-0042", "127.0.0.1:9001#17"), and raw FNV-1a of strings
+// differing only in their final bytes leaves arithmetic structure in the
+// output that visibly skews arc lengths; the avalanche pass removes it.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add places member on the ring; adding a present member is a no-op.
+func (r *Ring) Add(member string) {
+	for _, m := range r.members {
+		if m == member {
+			return
+		}
+	}
+	r.members = append(r.members, member)
+	sort.Strings(r.members)
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:   hashKey(fmt.Sprintf("%s#%d", member, i)),
+			member: member,
+		})
+	}
+	sortPoints(r.points)
+}
+
+// Remove takes member off the ring; removing an absent member is a no-op.
+func (r *Ring) Remove(member string) {
+	kept := r.members[:0]
+	for _, m := range r.members {
+		if m != member {
+			kept = append(kept, m)
+		}
+	}
+	r.members = kept
+	pts := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			pts = append(pts, p)
+		}
+	}
+	r.points = pts
+}
+
+// sortPoints orders the ring by hash, ties by member name: the ring is a
+// pure function of the membership set, independent of join order.
+func sortPoints(pts []ringPoint) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].member < pts[j].member
+	})
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last hash
+	}
+	return r.points[i].member
+}
+
+// Members returns the current membership, sorted. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	for _, m := range r.members {
+		if m == member {
+			return true
+		}
+	}
+	return false
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // maxBodyBytes bounds request bodies: batches stream row-by-row into the
@@ -12,9 +13,12 @@ import (
 const maxBodyBytes = 64 << 20
 
 // statusError carries an HTTP status through the registry/session layer.
+// retryAfter, when positive, is rendered as a Retry-After header — the
+// contract for 503s during drains: the condition is transient, come back.
 type statusError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int // seconds
 }
 
 func (e *statusError) Error() string { return e.msg }
@@ -22,35 +26,53 @@ func (e *statusError) Error() string { return e.msg }
 // badRequest wraps a client mistake as a 400.
 func badRequest(msg string) error { return &statusError{code: http.StatusBadRequest, msg: msg} }
 
+// drainRetrySeconds is the Retry-After value for drain 503s: drains are
+// short (a shutdown grace period or a single session migration), so
+// clients should retry almost immediately.
+const drainRetrySeconds = 1
+
+// drainingError is the 503 a draining session or registry answers with.
+func drainingError(msg string) error {
+	return &statusError{code: http.StatusServiceUnavailable, msg: msg, retryAfter: drainRetrySeconds}
+}
+
 // Handler returns the HTTP API of the registry:
 //
-//	GET    /healthz                     liveness probe
-//	GET    /v1/sessions                 list session states
+//	GET    /healthz                     liveness probe (503 + Retry-After while draining)
+//	GET    /v1/summary                  mergeable shard drift summary (ShardSummary)
+//	GET    /v1/sessions                 list session states (streamed)
 //	POST   /v1/sessions                 create a session (SessionConfig body)
+//	POST   /v1/sessions/import          import an exported session (SessionExport body)
 //	GET    /v1/sessions/{name}          session state snapshot
 //	DELETE /v1/sessions/{name}          delete a session
 //	POST   /v1/sessions/{name}/batches  feed one batch ({"epoch"?, "rows"} body)
 //	GET    /v1/sessions/{name}/reports  recent reports + alert count
+//	POST   /v1/sessions/{name}/export   seal + return the session (?drain=1 stops intake)
+//	POST   /v1/sessions/{name}/resume   lift a migration drain
 //
 // Malformed configuration, schemas and batches map to 400, unknown sessions
-// to 404, duplicate names to 409; every response body is JSON.
+// to 404, duplicate names to 409, drains to 503 with Retry-After; every
+// response body is JSON.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		if r.Draining() {
+			writeError(w, drainingError("draining for shutdown"))
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/summary", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Summary())
+	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
-		names := r.Names()
-		states := make([]SessionState, 0, len(names))
-		for _, name := range names {
-			// A session deleted between Names and State is simply omitted.
-			if s, ok := r.Get(name); ok {
-				if st, err := s.State(); err == nil {
-					states = append(states, st)
-				}
-			}
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"sessions": states})
+		// The body is streamed session by session: nothing is materialized
+		// under the registry lock, so a router scatter-gathering a large
+		// shard cannot stall creates and deletes. Mid-stream encode errors
+		// are unreportable (the status line is already out), like writeJSON.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = r.WriteList(w)
 	})
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
 		var cfg SessionConfig
@@ -125,6 +147,49 @@ func (r *Registry) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, reportsResponse{Reports: reports, Alerts: alerts})
 	})
+	mux.HandleFunc("POST /v1/sessions/import", func(w http.ResponseWriter, req *http.Request) {
+		var exp SessionExport
+		if err := decodeBody(w, req, &exp); err != nil {
+			writeError(w, err)
+			return
+		}
+		s, err := r.Import(&exp)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := s.State()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("POST /v1/sessions/{name}/export", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.session(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		exp, err := s.Export(req.URL.Query().Get("drain") == "1")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, exp)
+	})
+	mux.HandleFunc("POST /v1/sessions/{name}/resume", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.session(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := s.Resume(); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	return mux
 }
 
@@ -166,6 +231,9 @@ func decodeBody(w http.ResponseWriter, req *http.Request, dst any) error {
 func writeError(w http.ResponseWriter, err error) {
 	var se *statusError
 	if errors.As(err, &se) {
+		if se.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.retryAfter))
+		}
 		writeJSON(w, se.code, errorResponse{Error: se.msg})
 		return
 	}

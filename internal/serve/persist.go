@@ -221,29 +221,52 @@ func (st *Store) sessionDir(name string) string {
 // config-only snapshot, and an empty generation-1 WAL. Stale files from a
 // crashed earlier incarnation of the name are swept first.
 func (st *Store) create(cfg *SessionConfig) (*sessionStore, error) {
-	dir := st.sessionDir(cfg.Name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	removeStaleWALs(dir, 0)
 	rawCfg, err := json.Marshal(cfg)
 	if err != nil {
 		return nil, err
 	}
 	snap := snapshotJSON{Version: snapshotVersion, WALGen: 1, Config: rawCfg}
-	if err := writeSnapshot(dir, &snap); err != nil {
+	return st.createFromSnapshot(cfg.Name, &snap)
+}
+
+// createFromSnapshot initializes a session's durable state from a full
+// snapshot — create's config-only case and Import's sealed-state case
+// share it. The snapshot must name WAL generation 1; stale files from a
+// crashed earlier incarnation of the name are swept first.
+func (st *Store) createFromSnapshot(name string, snap *snapshotJSON) (*sessionStore, error) {
+	dir := st.sessionDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	w, recs, err := wal.Open(walPath(dir, 1))
+	removeStaleWALs(dir, 0)
+	if err := writeSnapshot(dir, snap); err != nil {
+		return nil, err
+	}
+	w, recs, err := wal.Open(walPath(dir, snap.WALGen))
 	if err != nil {
 		return nil, err
 	}
 	if len(recs) > 0 {
 		// Cannot happen: the sweep above removed every generation.
 		w.Close()
-		return nil, fmt.Errorf("fresh wal for %q holds %d records", cfg.Name, len(recs))
+		return nil, fmt.Errorf("fresh wal for %q holds %d records", name, len(recs))
 	}
-	return &sessionStore{dir: dir, gen: 1, w: w, compactEvery: st.compactEvery}, nil
+	return &sessionStore{dir: dir, gen: snap.WALGen, w: w, compactEvery: st.compactEvery}, nil
+}
+
+// readSnapshot reads the session's current on-disk snapshot.
+//
+//lint:holds Session.mu
+func (ss *sessionStore) readSnapshot() (*snapshotJSON, error) {
+	raw, err := os.ReadFile(filepath.Join(ss.dir, snapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshotJSON
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
 }
 
 // remove deletes the named session's durable state.

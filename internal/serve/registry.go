@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"focus/internal/apriori"
 	"focus/internal/cluster"
@@ -40,7 +41,21 @@ type Registry struct {
 	reserved   map[string]struct{} // names mid-Create (bound outside the lock); guarded by mu
 	maxReports int
 	store      *Store // nil: sessions live and die with the process
+
+	// draining is set when the process begins its shutdown drain: the
+	// health endpoint answers 503 with Retry-After so routers and load
+	// balancers stop sending new work before the listener closes.
+	draining atomic.Bool
 }
+
+// SetDraining marks the registry as draining (or not): while set, the
+// health endpoint answers 503 with a Retry-After header. focusd sets it
+// when a shutdown signal arrives, before the HTTP server stops accepting
+// connections.
+func (r *Registry) SetDraining(v bool) { r.draining.Store(v) }
+
+// Draining reports whether the registry is draining for shutdown.
+func (r *Registry) Draining() bool { return r.draining.Load() }
 
 // NewRegistry returns an empty in-memory registry retaining
 // DefaultMaxReports recent reports per session.
@@ -58,8 +73,15 @@ type Session struct {
 	name  string
 	model string
 
-	mu      sync.Mutex
-	closed  bool // deleted: feeds and queries answer 404, nothing persists; guarded by mu
+	mu       sync.Mutex
+	closed   bool // deleted: feeds and queries answer 404, nothing persists; guarded by mu
+	draining bool // migration drain: feeds answer 503 with Retry-After until Resume; guarded by mu
+	// cfgRaw pins the create-time config of an in-memory session so it
+	// stays exportable for migration; durable sessions leave it nil and
+	// read the config back from their on-disk snapshot instead (pinning it
+	// here too would hold a second copy of the reference rows for the
+	// session's lifetime). Guarded by mu.
+	cfgRaw  json.RawMessage
 	ingest  func(epoch *int64, rows json.RawMessage) (*stream.Report, error)
 	state   func() (epoch int64, batches, n, reports int)
 	last    *ReportJSON  // guarded by mu
@@ -130,6 +152,14 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 		s.mu.Lock()
 		s.store = ss
 		s.mu.Unlock()
+	} else {
+		// In-memory sessions pin their config so Export can ship it during
+		// a migration; durable sessions read it from the snapshot instead.
+		if raw, err := json.Marshal(&cfg); err == nil {
+			s.mu.Lock()
+			s.cfgRaw = raw
+			s.mu.Unlock()
+		}
 	}
 	r.mu.Lock()
 	delete(r.reserved, cfg.Name)
@@ -494,6 +524,9 @@ func (s *Session) Feed(epoch *int64, rows json.RawMessage) (*ReportJSON, error) 
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, notFound(s.name)
+	}
+	if s.draining {
+		return nil, drainingError(fmt.Sprintf("session %q is draining for migration", s.name))
 	}
 	if s.store != nil {
 		if err := s.store.appendFeed(epoch, rows); err != nil {
