@@ -62,8 +62,8 @@ apicheck:
 # the analyzers run in `make ci` and the focuslint CI job, and keeping them
 # out of bench keeps benchmark wall time a pure measurement of the code
 # under test.
-BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap,BenchmarkMineTrie,BenchmarkMineVertical,BenchmarkFig7LitsSDvsSF,BenchmarkQualifyLits,BenchmarkPump/source,BenchmarkPump/readcsv,BenchmarkLitsMonitorIncremental,BenchmarkLitsRebuildFromScratch,BenchmarkFleetCreateP50,BenchmarkFleetCreateP99,BenchmarkFleetFeedP50,BenchmarkFleetFeedP95,BenchmarkFleetFeedP99
-BENCH_ORDER := "BenchmarkLitsMonitorIncremental<=BenchmarkLitsRebuildFromScratch,BenchmarkFleetFeedP50<=BenchmarkFleetFeedP95,BenchmarkFleetFeedP95<=BenchmarkFleetFeedP99"
+BENCH_REQUIRE := BenchmarkCountTrie,BenchmarkCountBitmap,BenchmarkMineTrie,BenchmarkMineVertical,BenchmarkFig7LitsSDvsSF,BenchmarkQualifyLits,BenchmarkPump/source,BenchmarkPump/readcsv,BenchmarkLitsMonitorIncremental,BenchmarkLitsRebuildFromScratch,BenchmarkFleetCreateP50,BenchmarkFleetCreateP99,BenchmarkFleetFeedP50,BenchmarkFleetFeedP95,BenchmarkFleetFeedP99,BenchmarkDTreeBuildNaive,BenchmarkDTreeBuildFast
+BENCH_ORDER := "BenchmarkLitsMonitorIncremental<=BenchmarkLitsRebuildFromScratch,BenchmarkFleetFeedP50<=BenchmarkFleetFeedP95,BenchmarkFleetFeedP95<=BenchmarkFleetFeedP99,BenchmarkDTreeBuildFast<=BenchmarkDTreeBuildNaive"
 bench:
 	go test -run XXX -bench . -benchmem -benchtime 1x ./... | tee bench.out
 	go test -run XXX -bench 'BenchmarkLitsMonitorIncremental|BenchmarkLitsRebuildFromScratch' -benchmem -benchtime 20x ./internal/stream/ | tee -a bench.out

@@ -19,6 +19,7 @@ import (
 	"focus/internal/apriori"
 	"focus/internal/classgen"
 	"focus/internal/core"
+	"focus/internal/dataset"
 	"focus/internal/dtree"
 	"focus/internal/experiments"
 	"focus/internal/quest"
@@ -445,16 +446,40 @@ func BenchmarkParallelAprioriMine(b *testing.B) {
 	}
 }
 
-// CART tree construction, the substrate cost every dt experiment pays.
-func BenchmarkDTreeBuild(b *testing.B) {
-	b.ReportAllocs()
+// dtreeBenchData is the shared workload of the tree-construction pair: the
+// paper's synthetic person data at experiment scale.
+func dtreeBenchData(b *testing.B) *dataset.Dataset {
+	b.Helper()
 	d, err := classgen.Generate(classgen.Config{NumTuples: 10000, Function: classgen.F2, Seed: 14})
 	if err != nil {
 		b.Fatal(err)
 	}
+	return d
+}
+
+// CART tree construction with the reference per-node re-sorting builder —
+// the substrate cost every dt experiment used to pay. Kept as the baseline
+// of the before/after pair; compare against BenchmarkDTreeBuildFast.
+func BenchmarkDTreeBuildNaive(b *testing.B) {
+	b.ReportAllocs()
+	d := dtreeBenchData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dtree.Build(d, dtree.Config{MaxDepth: 8, MinLeaf: 50}); err != nil {
+		if _, err := dtree.BuildNaive(d, dtree.Config{MaxDepth: 8, MinLeaf: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The presorted-attribute-list engine with parallel split search on the
+// identical workload (bit-identical output tree). Compare against
+// BenchmarkDTreeBuildNaive.
+func BenchmarkDTreeBuildFast(b *testing.B) {
+	b.ReportAllocs()
+	d := dtreeBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtree.BuildP(d, dtree.Config{MaxDepth: 8, MinLeaf: 50}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -67,6 +67,9 @@ type config struct {
 	par         int
 	counterName string
 	counter     apriori.Counter
+	searchName  string
+	splitSearch dtree.SplitSearch
+	histBins    int
 
 	attrs      string
 	bins       int
@@ -100,6 +103,8 @@ func run(args []string, stdout io.Writer) error {
 	fs.BoolVar(&cfg.showBound, "bound", false, "also print the delta* upper bound (lits only)")
 	fs.IntVar(&cfg.par, "parallelism", 0, "worker count for scans and bootstrap (0 = GOMAXPROCS, 1 = serial)")
 	fs.StringVar(&cfg.counterName, "counter", "auto", "lits counting backend: auto, trie or bitmap (bit-identical output)")
+	fs.StringVar(&cfg.searchName, "split-search", "exact", "dt numeric split search: exact, hist or auto")
+	fs.IntVar(&cfg.histBins, "histbins", 0, "dt hist-mode quantile bins per attribute (0 = default)")
 	fs.StringVar(&cfg.attrs, "attrs", "salary,age", "cluster grid attributes (comma-separated numeric attribute names)")
 	fs.IntVar(&cfg.bins, "bins", 8, "cluster grid bins per attribute")
 	fs.Float64Var(&cfg.minDensity, "mindensity", 0.02, "cluster minimum cell density")
@@ -131,6 +136,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg.splitSearch, err = dtree.ParseSplitSearch(cfg.searchName)
+	if err != nil {
+		return err
+	}
 
 	switch cfg.model {
 	case "lits":
@@ -157,6 +166,17 @@ func run(args []string, stdout io.Writer) error {
 // batch mode.
 func qualifyOptions(cfg *config) []core.Option {
 	return []core.Option{core.WithReplicates(cfg.replicates), core.WithSeed(cfg.seed)}
+}
+
+// dtConfig assembles the tree-growth configuration shared by the dt batch
+// and follow modes.
+func dtConfig(cfg *config) dtree.Config {
+	return dtree.Config{
+		MaxDepth:    cfg.maxDepth,
+		MinLeaf:     cfg.minLeaf,
+		SplitSearch: cfg.splitSearch,
+		HistBins:    cfg.histBins,
+	}
 }
 
 func runLits(cfg *config, path1, path2 string, w io.Writer) error {
@@ -207,7 +227,7 @@ func runDT(cfg *config, path1, path2 string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	mc := core.DT(dtree.Config{MaxDepth: cfg.maxDepth, MinLeaf: cfg.minLeaf})
+	mc := core.DT(dtConfig(cfg))
 	m1, err := mc.Induce(d1, 0)
 	if err != nil {
 		return err
@@ -353,7 +373,7 @@ func runDTFollow(cfg *config, refPath, streamPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tree, err := dtree.Build(ref, dtree.Config{MaxDepth: cfg.maxDepth, MinLeaf: cfg.minLeaf})
+	tree, err := dtree.BuildP(ref, dtConfig(cfg), 0)
 	if err != nil {
 		return err
 	}

@@ -232,6 +232,11 @@ type (
 	Tree = dtree.Tree
 	// TreeConfig controls decision-tree growth.
 	TreeConfig = dtree.Config
+	// SplitSearch selects the numeric split-search engine of tree growth:
+	// SplitSearchExact (the default) sweeps every cut over presorted
+	// attribute lists, SplitSearchHist searches root-quantile bin edges,
+	// SplitSearchAuto picks by dataset size.
+	SplitSearch = dtree.SplitSearch
 	// Grid discretizes numeric attributes for cluster-models.
 	Grid = cluster.Grid
 	// GCRRegion is one region of a dt-model GCR overlay.
@@ -399,6 +404,28 @@ func MineLitsP(d *TxnDataset, minSupport float64, parallelism int) (*LitsModel, 
 // BuildDTModel induces a dt-model from a classification dataset.
 func BuildDTModel(d *Dataset, cfg TreeConfig) (*DTModel, error) {
 	return core.BuildDTModel(d, cfg)
+}
+
+// BuildDTModelP is BuildDTModel with a parallelism knob for the split
+// search (0 = the process default, 1 = the exact serial path): per-node
+// attribute searches run on parallel workers and merge deterministically,
+// so the tree is bit-identical to the serial builder for every worker
+// count.
+func BuildDTModelP(d *Dataset, cfg TreeConfig, parallelism int) (*DTModel, error) {
+	return core.BuildDTModelP(d, cfg, parallelism)
+}
+
+// The split-search engines of TreeConfig.SplitSearch.
+const (
+	SplitSearchExact = dtree.SplitSearchExact
+	SplitSearchHist  = dtree.SplitSearchHist
+	SplitSearchAuto  = dtree.SplitSearchAuto
+)
+
+// ParseSplitSearch validates a split-search name ("exact", "hist" or
+// "auto"; "" means exact).
+func ParseSplitSearch(name string) (SplitSearch, error) {
+	return dtree.ParseSplitSearch(name)
 }
 
 // NewGrid builds a clustering grid over numeric attributes of s.

@@ -33,7 +33,7 @@ func (dtClass) Resample(d *dataset.Dataset, n int, rng *rand.Rand) *dataset.Data
 }
 
 func (c dtClass) Induce(d *dataset.Dataset, parallelism int) (*DTModel, error) {
-	return BuildDTModel(d, c.cfg)
+	return BuildDTModelP(d, c.cfg, parallelism)
 }
 
 func (dtClass) MeasureGCR(m1, m2 *DTModel, d1, d2 *dataset.Dataset, cfg *Config) ([]MeasuredRegion, error) {

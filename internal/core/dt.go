@@ -22,9 +22,16 @@ type DTModel struct {
 	N int
 }
 
-// BuildDTModel induces a dt-model from d.
+// BuildDTModel induces a dt-model from d with the serial tree builder.
 func BuildDTModel(d *dataset.Dataset, cfg dtree.Config) (*DTModel, error) {
-	t, err := dtree.Build(d, cfg)
+	return BuildDTModelP(d, cfg, 1)
+}
+
+// BuildDTModelP is BuildDTModel with a parallelism knob for the split
+// search: 0 uses the process default, 1 forces the serial path, n >= 2 uses
+// n workers. The induced tree is bit-identical for every setting.
+func BuildDTModelP(d *dataset.Dataset, cfg dtree.Config, parallelism int) (*DTModel, error) {
+	t, err := dtree.BuildP(d, cfg, parallelism)
 	if err != nil {
 		return nil, err
 	}

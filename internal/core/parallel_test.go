@@ -269,3 +269,88 @@ func TestQualifyExtensionRaceRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// dtTreesIdentical compares two trees field-by-field; the DT induction
+// engine guarantees bit-identical trees for every worker count.
+func dtTreesIdentical(a, b *dtree.Tree) bool {
+	var eq func(x, y *dtree.Node) bool
+	eq = func(x, y *dtree.Node) bool {
+		if x.IsLeaf() != y.IsLeaf() {
+			return false
+		}
+		if x.IsLeaf() {
+			if x.LeafID != y.LeafID || len(x.ClassCounts) != len(y.ClassCounts) {
+				return false
+			}
+			for c := range x.ClassCounts {
+				if x.ClassCounts[c] != y.ClassCounts[c] {
+					return false
+				}
+			}
+			return true
+		}
+		if x.Attr != y.Attr || x.Threshold != y.Threshold || len(x.LeftValues) != len(y.LeftValues) {
+			return false
+		}
+		for v := range x.LeftValues {
+			if x.LeftValues[v] != y.LeftValues[v] {
+				return false
+			}
+		}
+		return eq(x.Left, y.Left) && eq(x.Right, y.Right)
+	}
+	return a.NumLeaves() == b.NumLeaves() && eq(a.Root, b.Root)
+}
+
+// TestDTInduceParallelEquivalence: dtClass.Induce threads the parallelism
+// knob into the tree builder's split search, and the induced model must be
+// bit-identical for every worker count.
+func TestDTInduceParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	d := randomDTDataset(rng, 2500)
+	mc := DT(dtree.Config{MaxDepth: 7, MinLeaf: 10})
+	serial, err := mc.Induce(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range equivWorkers {
+		par, err := mc.Induce(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.N != serial.N || !dtTreesIdentical(par.Tree, serial.Tree) {
+			t.Errorf("parallelism %d induced a different tree than serial", p)
+		}
+	}
+}
+
+// TestDTQualifyParallelEquivalence: the full observe-and-bootstrap pipeline
+// (parallel tree induction included) is bit-identical across worker counts.
+func TestDTQualifyParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	d1 := randomDTDataset(rng, 1200)
+	d2 := randomDTDataset(rng, 1400)
+	cfg := dtree.Config{MaxDepth: 5, MinLeaf: 20}
+	serial, err := QualifyDT(d1, d2, cfg, AbsoluteDiff, Sum,
+		QualifyOptions{Replicates: 12, Seed: 65, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range equivWorkers {
+		par, err := QualifyDT(d1, d2, cfg, AbsoluteDiff, Sum,
+			QualifyOptions{Replicates: 12, Seed: 65, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Deviation != serial.Deviation || par.Significance != serial.Significance {
+			t.Errorf("parallelism %d: qualification (%v, %v) != serial (%v, %v)",
+				p, par.Deviation, par.Significance, serial.Deviation, serial.Significance)
+		}
+		for i := range serial.Null {
+			if par.Null[i] != serial.Null[i] {
+				t.Errorf("parallelism %d: null[%d] = %v, serial %v", p, i, par.Null[i], serial.Null[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package dtree
+
+import (
+	"sort"
+
+	"focus/internal/dataset"
+)
+
+// This file holds the SLIQ/SPRINT-style presorted attribute lists the fast
+// engine sweeps (Mehta, Agrawal & Rissanen, EDBT 1996; Shafer, Agrawal &
+// Mehta, VLDB 1996): each numeric attribute is sorted ONCE at the root into
+// a per-attribute list of row ids, and on every split the lists are
+// stable-partitioned in node order — a stable scan preserves sortedness, so
+// the per-node numeric split search becomes a single linear sweep with no
+// re-sorting anywhere below the root.
+
+// attrLists is the node-ordered row storage of the fast engine. Every
+// slice is segmented by node: a node owns the half-open range [lo, hi) of
+// rows and of every attribute list, its left child [lo, lo+nl) and its
+// right child [lo+nl, hi).
+type attrLists struct {
+	// rows holds the node-ordered row ids (root: 0..n-1). Class counts and
+	// categorical AVC-sets are computed from it.
+	rows []int32
+	// lists maps each numeric attribute to its row ids sorted ascending by
+	// value (ties by row id); nil for categorical attributes and in
+	// histogram mode, which needs no per-node sorted order.
+	lists [][]int32
+	// side marks, per row id, the side of the split being realized (true =
+	// left). It is scratch state of partition, indexed by row id so every
+	// list partition of one split shares one marking pass.
+	side []bool
+	// scratch is the stable-partition buffer, len n.
+	scratch []int32
+}
+
+// newAttrLists builds the root lists. The per-attribute sorts run on
+// parallel workers (each attribute's list is written by exactly one
+// worker); sortLists selects which attributes get sorted lists — the exact
+// engine sorts every numeric attribute, the histogram engine none.
+func newAttrLists(d *dataset.Dataset, sortAttrs []int, parallelism int) *attrLists {
+	n := d.Len()
+	al := &attrLists{
+		rows:    make([]int32, n),
+		lists:   make([][]int32, len(d.Schema.Attrs)),
+		side:    make([]bool, n),
+		scratch: make([]int32, n),
+	}
+	for i := range al.rows {
+		al.rows[i] = int32(i)
+	}
+	forEachAttr(sortAttrs, parallelism, func(a int) {
+		list := make([]int32, n)
+		for i := range list {
+			list[i] = int32(i)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			vi, vj := d.Tuples[list[i]][a], d.Tuples[list[j]][a]
+			if vi != vj {
+				return vi < vj
+			}
+			return list[i] < list[j]
+		})
+		al.lists[a] = list
+	})
+	return al
+}
+
+// stablePartition reorders seg so the rows marked left in side come first
+// (nl of them), both halves preserving their relative order — which is what
+// keeps sorted attribute lists sorted within each child segment.
+func stablePartition(seg []int32, side []bool, scratch []int32, nl int) {
+	l, r := 0, nl
+	for _, id := range seg {
+		if side[id] {
+			scratch[l] = id
+			l++
+		} else {
+			scratch[r] = id
+			r++
+		}
+	}
+	copy(seg, scratch[:len(seg)])
+}

@@ -3,21 +3,40 @@ package dtree
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"focus/internal/dataset"
 )
 
-// Config controls tree growth. The zero value is usable: it applies the
-// defaults documented on each field.
+// Config controls tree growth. The zero value is usable: every zero field
+// selects the default documented on it. Negative values are configuration
+// errors — Build rejects them instead of silently growing a degenerate
+// tree (a negative MaxDepth used to yield a root-only stump).
 type Config struct {
-	// MaxDepth bounds the tree depth (root at depth 0). Default 12.
+	// MaxDepth bounds the tree depth (root at depth 0). The zero value
+	// selects the default of 12; negative values are rejected.
 	MaxDepth int
 	// MinLeaf is the minimum number of training tuples in a leaf. Splits
-	// producing a smaller child are not considered. Default 25.
+	// producing a smaller child are not considered. The zero value selects
+	// the default of 25; negative values are rejected.
 	MinLeaf int
-	// MinGain is the minimum gini gain required to split. Default 1e-6.
+	// MinGain is the minimum gini gain required to split. The zero value
+	// selects the default of 1e-6 — an exact-zero minimum is therefore not
+	// expressible, which keeps zero-gain splits (no information) out of
+	// every tree. Negative values are rejected.
 	MinGain float64
+
+	// SplitSearch selects the numeric split-search engine (the empty
+	// value resolves to SplitSearchExact). Exact produces bit-identical
+	// trees to the reference CART builder; hist trades the exact cut for
+	// pre-binned speed. See the SplitSearch constants.
+	SplitSearch SplitSearch
+	// HistBins is the number of quantile bins per numeric attribute in
+	// histogram mode. The zero value selects the default of 64; negative
+	// values, a single bin (no interior cut exists) and more than 65535
+	// bins (bin ids are 16-bit) are rejected. Ignored by the exact engine.
+	HistBins int
 }
 
 func (c Config) withDefaults() Config {
@@ -30,37 +49,77 @@ func (c Config) withDefaults() Config {
 	if c.MinGain == 0 {
 		c.MinGain = 1e-6
 	}
+	if c.HistBins == 0 {
+		c.HistBins = defaultHistBins
+	}
 	return c
 }
 
-// Build grows a CART-style tree over d with gini-impurity splits. Numeric
-// attributes use the best midpoint threshold found by a sorted sweep;
-// categorical attributes use the best value-subset split found by ordering
-// values by first-class proportion (optimal for two classes, a standard
-// heuristic otherwise). The class attribute is never split on.
-func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
+// validate rejects configurations whose zero-value defaulting cannot
+// apply: negative limits and out-of-range histogram bin counts.
+func (c Config) validate() error {
+	if c.MaxDepth < 0 {
+		return fmt.Errorf("dtree: MaxDepth %d < 0 (use 0 for the default of 12)", c.MaxDepth)
+	}
+	if c.MinLeaf < 0 {
+		return fmt.Errorf("dtree: MinLeaf %d < 0 (use 0 for the default of 25)", c.MinLeaf)
+	}
+	if c.MinGain < 0 {
+		return fmt.Errorf("dtree: MinGain %v < 0 (use 0 for the default of 1e-6)", c.MinGain)
+	}
+	if c.HistBins < 0 || c.HistBins == 1 || c.HistBins > maxHistBins {
+		return fmt.Errorf("dtree: HistBins %d outside [2,%d] (use 0 for the default of %d)", c.HistBins, maxHistBins, defaultHistBins)
+	}
+	if _, err := ParseSplitSearch(string(c.SplitSearch)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// prepare runs the shared entry validation of every builder: the dataset
+// must be a non-empty classification dataset free of NaN values, and the
+// configuration must be valid. It returns the configuration with defaults
+// applied.
+func prepare(d *dataset.Dataset, cfg Config) (Config, error) {
 	if d.Schema.Class < 0 {
-		return nil, errors.New("dtree: schema has no class attribute")
+		return cfg, errors.New("dtree: schema has no class attribute")
 	}
 	if d.Len() == 0 {
-		return nil, errors.New("dtree: cannot build a tree from an empty dataset")
+		return cfg, errors.New("dtree: cannot build a tree from an empty dataset")
+	}
+	if err := cfg.validate(); err != nil {
+		return cfg, err
 	}
 	cfg = cfg.withDefaults()
-	if cfg.MinLeaf < 1 {
-		return nil, fmt.Errorf("dtree: MinLeaf %d < 1", cfg.MinLeaf)
+	if err := checkFinite(d); err != nil {
+		return cfg, err
 	}
-	b := &builder{
-		data: d,
-		cfg:  cfg,
-		k:    d.Schema.NumClasses(),
+	return cfg, nil
+}
+
+// checkFinite rejects NaN attribute values. The file decoders never admit
+// them, but programmatically assembled datasets can: a NaN breaks the sort
+// comparator of the split search silently (NaN compares false against
+// everything), producing an arbitrary tree — a diagnostic error here beats
+// a wrong model there.
+func checkFinite(d *dataset.Dataset) error {
+	for i, t := range d.Tuples {
+		for a := range t {
+			if math.IsNaN(t[a]) {
+				name := fmt.Sprintf("#%d", a)
+				if a < len(d.Schema.Attrs) {
+					name = d.Schema.Attrs[a].Name
+				}
+				return fmt.Errorf("dtree: tuple %d attribute %q is NaN", i, name)
+			}
+		}
 	}
-	idx := make([]int, d.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	t := &Tree{Schema: d.Schema}
-	t.Root = b.grow(idx, 0)
-	// Assign dense leaf ids in DFS order.
+	return nil
+}
+
+// numberLeaves assigns dense leaf ids in DFS order and records the leaf
+// list on the tree.
+func numberLeaves(t *Tree) {
 	t.leaves = nil
 	var number func(n *Node)
 	number = func(n *Node) {
@@ -75,9 +134,66 @@ func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
 	}
 	number(t.Root)
 	t.numLeaves = len(t.leaves)
+}
+
+// Build grows a CART-style tree over d with gini-impurity splits. Numeric
+// attributes use the best threshold found by a sorted sweep (or by the
+// pre-binned histogram search, per cfg.SplitSearch); categorical attributes
+// use the best value-subset split found by ordering values by first-class
+// proportion (optimal for two classes, a standard heuristic otherwise). The
+// class attribute is never split on.
+//
+// Build runs the presorted-attribute-list engine on the serial path; it is
+// BuildP with a parallelism of 1. In exact mode (the default) the tree is
+// bit-identical to the reference BuildNaive builder.
+func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
+	return BuildP(d, cfg, 1)
+}
+
+// BuildP is Build with a parallelism knob: the per-node split search
+// shards attributes across workers (0 = the process default, 1 = the exact
+// serial path, n >= 2 = n workers) and merges the per-attribute winners in
+// fixed attribute order, so the tree is bit-identical for every setting.
+func BuildP(d *dataset.Dataset, cfg Config, parallelism int) (*Tree, error) {
+	cfg, err := prepare(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(d, cfg, parallelism)
+	t := &Tree{Schema: d.Schema}
+	t.Root = e.grow(0, d.Len(), 0)
+	numberLeaves(t)
 	return t, nil
 }
 
+// BuildNaive is the reference CART builder the fast engine is proven
+// against: it re-sorts every numeric attribute at every node and searches
+// attributes serially. It ignores cfg.SplitSearch (it is the exact search
+// by construction). Build in exact mode produces bit-identical trees — the
+// differential tests pin the equivalence — so BuildNaive exists only as
+// the independent baseline of that harness and of the
+// BenchmarkDTreeBuildNaive/BenchmarkDTreeBuildFast pair.
+func BuildNaive(d *dataset.Dataset, cfg Config) (*Tree, error) {
+	cfg, err := prepare(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		data: d,
+		cfg:  cfg,
+		k:    d.Schema.NumClasses(),
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{Schema: d.Schema}
+	t.Root = b.grow(idx, 0)
+	numberLeaves(t)
+	return t, nil
+}
+
+// builder is the naive reference implementation behind BuildNaive.
 type builder struct {
 	data *dataset.Dataset
 	cfg  Config
@@ -113,6 +229,21 @@ func pure(counts []int) bool {
 		}
 	}
 	return nonzero <= 1
+}
+
+// numericCut returns the threshold of a cut between the adjacent sorted
+// values lo < hi, realized by routing value <= threshold left: the
+// midpoint, unless float64 rounding pushes the midpoint all the way up to
+// hi (ulp-adjacent values), which would route hi's tuples left and break
+// the agreement between the swept class counts the gain was computed from
+// and the realized partition. In that case the cut falls back to lo, which
+// realizes exactly the swept assignment.
+func numericCut(lo, hi float64) float64 {
+	mid := lo + (hi-lo)/2
+	if mid >= hi {
+		return lo
+	}
+	return mid
 }
 
 // split describes the best split found for a node.
@@ -169,8 +300,8 @@ func (b *builder) bestSplit(idx []int, counts []int) split {
 }
 
 // bestNumericSplit sweeps the sorted values of attr, evaluating the gini
-// gain at every midpoint between distinct consecutive values, honouring
-// MinLeaf on both sides.
+// gain at every cut between distinct consecutive values, honouring MinLeaf
+// on both sides.
 func (b *builder) bestNumericSplit(idx []int, attr int, parent float64) split {
 	type vc struct {
 		v float64
@@ -202,16 +333,14 @@ func (b *builder) bestNumericSplit(idx []int, attr int, parent float64) split {
 		if !best.valid || w > best.gain {
 			best.valid = true
 			best.gain = w
-			best.threshold = vals[i].v + (vals[i+1].v-vals[i].v)/2
+			best.threshold = numericCut(vals[i].v, vals[i+1].v)
 		}
 	}
 	return best
 }
 
 // bestCategoricalSplit builds the attribute's AVC-set (value x class counts,
-// as in RainForest), orders values by first-class proportion, and evaluates
-// every prefix as the left value set — the Breiman ordering that is optimal
-// for binary classes.
+// as in RainForest) and hands the sweep to the shared bestCategoricalFromAVC.
 func (b *builder) bestCategoricalSplit(idx []int, attr int, parent float64, counts []int) split {
 	card := b.data.Schema.Attrs[attr].Cardinality()
 	avc := make([][]int, card) // value -> class histogram
@@ -225,6 +354,15 @@ func (b *builder) bestCategoricalSplit(idx []int, attr int, parent float64, coun
 		avc[v][t.Class(b.data.Schema)]++
 		totals[v]++
 	}
+	return bestCategoricalFromAVC(attr, avc, totals, counts, len(idx), b.k, parent, b.cfg.MinLeaf)
+}
+
+// bestCategoricalFromAVC orders the present values by proportion of class 0
+// and evaluates every prefix as the left value set — the Breiman ordering
+// that is optimal for binary classes. It is shared by the naive builder and
+// the fast engine so the two compute bit-identical gains from equal AVCs.
+func bestCategoricalFromAVC(attr int, avc [][]int, totals []int, counts []int, n, k int, parent float64, minLeaf int) split {
+	card := len(avc)
 	// Collect present values and order by proportion of class 0.
 	var present []int
 	for v := 0; v < card; v++ {
@@ -244,8 +382,7 @@ func (b *builder) bestCategoricalSplit(idx []int, attr int, parent float64, coun
 		return present[a] < present[c]
 	})
 
-	n := len(idx)
-	leftCounts := make([]int, b.k)
+	leftCounts := make([]int, k)
 	rightCounts := append([]int(nil), counts...)
 	nl := 0
 	best := split{attr: attr}
@@ -257,7 +394,7 @@ func (b *builder) bestCategoricalSplit(idx []int, attr int, parent float64, coun
 		}
 		nl += totals[v]
 		nr := n - nl
-		if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+		if nl < minLeaf || nr < minLeaf {
 			continue
 		}
 		w := parent - (float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(n)

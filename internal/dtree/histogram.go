@@ -1,0 +1,124 @@
+package dtree
+
+import (
+	"sort"
+
+	"focus/internal/dataset"
+)
+
+// This file implements the pre-binned histogram split search
+// (SplitSearchHist): quantile bin edges are computed once at the root from
+// each numeric attribute's sorted values, every row is assigned its bin id
+// once, and the per-node numeric search reduces to one pass building a
+// bin-by-class histogram plus a sweep over bin boundaries. Candidate cuts
+// are restricted to bin edges — each edge is an actual data value, so the
+// partition a chosen threshold realizes matches the swept histogram counts
+// exactly.
+
+// defaultHistBins is the quantile bin count selected by HistBins = 0.
+const defaultHistBins = 64
+
+// maxHistBins bounds HistBins so bin ids fit in uint16.
+const maxHistBins = 65535
+
+// histIndex is the root binning of every numeric attribute.
+type histIndex struct {
+	// edges maps each numeric attribute to its ascending distinct cut
+	// values; a row belongs to bin j when its value is <= edges[j] and
+	// > edges[j-1]. The last edge is the attribute's maximum value, so
+	// every row has a bin. Nil for categorical attributes.
+	edges [][]float64
+	// bins maps each numeric attribute to the per-row bin ids.
+	bins [][]uint16
+}
+
+// newHistIndex computes quantile edges and per-row bin ids for the listed
+// numeric attributes, fanning the per-attribute work out over parallel
+// workers (each attribute's slots are written by exactly one worker).
+func newHistIndex(d *dataset.Dataset, numeric []int, histBins, parallelism int) *histIndex {
+	n := d.Len()
+	hi := &histIndex{
+		edges: make([][]float64, len(d.Schema.Attrs)),
+		bins:  make([][]uint16, len(d.Schema.Attrs)),
+	}
+	forEachAttr(numeric, parallelism, func(a int) {
+		vals := make([]float64, n)
+		for i, t := range d.Tuples {
+			vals[i] = t[a]
+		}
+		sort.Float64s(vals)
+		edges := quantileEdges(vals, histBins)
+		bins := make([]uint16, n)
+		for i, t := range d.Tuples {
+			// The smallest edge >= the value; the last edge is the max, so
+			// the search always lands.
+			bins[i] = uint16(sort.SearchFloat64s(edges, t[a]))
+		}
+		hi.edges[a] = edges
+		hi.bins[a] = bins
+	})
+	return hi
+}
+
+// quantileEdges picks at most b ascending distinct edge values from the
+// sorted values s, at evenly spaced ranks, always including the maximum so
+// the edges cover every value. Attributes with fewer distinct values than
+// bins keep every distinct value — the histogram search then sees the
+// exact candidate cut set.
+func quantileEdges(s []float64, b int) []float64 {
+	n := len(s)
+	edges := make([]float64, 0, b)
+	for j := 0; j < b; j++ {
+		idx := (j+1)*n/b - 1
+		if idx < 0 {
+			idx = 0 // fewer values than bins: early ranks collapse onto the minimum
+		}
+		v := s[idx]
+		if len(edges) == 0 || v > edges[len(edges)-1] {
+			edges = append(edges, v)
+		}
+	}
+	return edges
+}
+
+// bestNumericSplitHist builds the node's bin-by-class histogram in one pass
+// over the row segment and sweeps the bin boundaries, evaluating the gain
+// with the same float operations as the exact sweep. The returned
+// threshold is the winning bin's upper edge — an actual data value — so
+// routing value <= threshold realizes exactly the swept counts.
+func (e *engine) bestNumericSplitHist(lo, hi, attr int, parent float64, counts []int) split {
+	edges := e.hist.edges[attr]
+	nb := len(edges)
+	best := split{attr: attr}
+	if nb < 2 {
+		return best // single distinct value: no cut exists
+	}
+	binOf := e.hist.bins[attr]
+	h := make([]int, nb*e.k)
+	for _, id := range e.al.rows[lo:hi] {
+		h[int(binOf[id])*e.k+e.classOf(id)]++
+	}
+	leftCounts := make([]int, e.k)
+	rightCounts := append([]int(nil), counts...)
+	n := hi - lo
+	nl := 0
+	for j := 0; j < nb-1; j++ {
+		row := h[j*e.k : (j+1)*e.k]
+		for c, cc := range row {
+			leftCounts[c] += cc
+			rightCounts[c] -= cc
+			nl += cc
+		}
+		nr := n - nl
+		if nl < e.cfg.MinLeaf || nr < e.cfg.MinLeaf {
+			continue
+		}
+		w := parent - (float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(n)
+		if !best.valid || w > best.gain {
+			best.valid = true
+			best.gain = w
+			best.threshold = edges[j]
+		}
+	}
+	return best
+}

@@ -465,7 +465,16 @@ func bindDT(s *Session, cfg *SessionConfig) error {
 	if err != nil {
 		return badRequest(fmt.Sprintf("reference: %v", err))
 	}
-	tree, err := dtree.Build(ref, dtree.Config{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf})
+	search, err := dtree.ParseSplitSearch(cfg.SplitSearch)
+	if err != nil {
+		return badRequest(err.Error())
+	}
+	tree, err := dtree.BuildP(ref, dtree.Config{
+		MaxDepth:    cfg.MaxDepth,
+		MinLeaf:     cfg.MinLeaf,
+		SplitSearch: search,
+		HistBins:    cfg.HistBins,
+	}, cfg.Parallelism)
 	if err != nil {
 		return badRequest(fmt.Sprintf("growing pinned tree: %v", err))
 	}

@@ -169,6 +169,16 @@ func TestCreateSessionValidation(t *testing.T) {
 		{"dt missing class", `{"name": "m", "model": "dt", "reference": [{"x": 1}],
 			"schema": {"attrs": [{"name": "x", "kind": "numeric", "min": 0, "max": 1}]}}`, 400},
 		{"dt missing reference", strings.Replace(dtSession("m"), `"reference"`, `"_reference"`, 1), 400},
+		{"dt split search hist", strings.Replace(dtSession("ok-dt-hist"), `"min_leaf": 20,`,
+			`"min_leaf": 20, "split_search": "hist", "hist_bins": 16,`, 1), 201},
+		{"dt split search auto", strings.Replace(dtSession("ok-dt-auto"), `"min_leaf": 20,`,
+			`"min_leaf": 20, "split_search": "auto",`, 1), 201},
+		{"dt bad split search", strings.Replace(dtSession("m"), `"min_leaf": 20,`,
+			`"min_leaf": 20, "split_search": "btree",`, 1), 400},
+		{"dt bad hist bins", strings.Replace(dtSession("m"), `"min_leaf": 20,`,
+			`"min_leaf": 20, "split_search": "hist", "hist_bins": 1,`, 1), 400},
+		{"dt negative max depth", strings.Replace(dtSession("m"), `"min_leaf": 20,`,
+			`"min_leaf": 20, "max_depth": -1,`, 1), 400},
 		{"bad f", strings.Replace(clusterSession("m"), `"model": "cluster"`, `"model": "cluster", "f": "cosine"`, 1), 400},
 		{"bad window", strings.Replace(clusterSession("m"), `"window": 1`, `"window": -3`, 1), 400},
 		{"epoch window and tumbling", strings.Replace(clusterSession("m"), `"window": 1`, `"epoch_window": 2, "tumbling": true`, 1), 400},
